@@ -1,0 +1,36 @@
+"""Table 1: average distinct destinations per process at 64 processes."""
+
+import pytest
+
+from repro.bench import tables
+
+from benchmarks.conftest import run_once
+
+#: |measured - paper| tolerances; the generators are statistical models
+#: of published characterizations, not traces
+TOLERANCES = {
+    "sPPM": 0.8,
+    "SMG2000": 0.5,
+    "Sphot": 0.02,
+    "Sweep3D": 0.01,
+    "SAMRAI": 1.0,
+    "CG": 1.5,
+}
+
+
+def test_table1(benchmark):
+    exp = run_once(benchmark, tables.table1, fast=True)
+    print("\n" + exp.render())
+
+    for row in exp.rows:
+        measured = row.get("measured@64")
+        paper = row.get("paper@64")
+        tol = TOLERANCES[row.label]
+        assert abs(measured - paper) <= tol, (
+            f"{row.label}: measured {measured} vs paper {paper}"
+        )
+    # the qualitative spread the paper's argument needs: most apps talk
+    # to a handful of peers; only SMG2000 approaches dozens
+    sparse = [r.get("measured@64") for r in exp.rows if r.label != "SMG2000"]
+    assert max(sparse) < 8.0
+    assert exp.row("SMG2000").get("measured@64") > 35.0

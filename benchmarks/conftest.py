@@ -1,0 +1,18 @@
+"""Shared helpers for the benchmark suite.
+
+Each ``bench_*.py`` regenerates one of the paper's tables or figures via
+:mod:`repro.bench` and asserts the paper's qualitative *shape* (who
+wins, by roughly what factor, where crossovers fall).  pytest-benchmark
+wraps the run so the harness also tracks how long each reproduction
+takes on the host.
+
+Experiments are deterministic, so every benchmark runs exactly once
+(``rounds=1``) — repeating would measure the same simulation again.
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark; return its result."""
+    return benchmark.pedantic(fn, kwargs=kwargs, rounds=1, iterations=1)

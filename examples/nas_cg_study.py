@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Case study: the NAS CG kernel under every connection/completion mode.
+
+Reproduces the spirit of the paper's Figures 6–7 for one benchmark:
+run CG on the cLAN profile under {static-polling, static-spinwait,
+on-demand} and on the Berkeley VIA profile under {static-polling,
+on-demand}, then compare times, connection counts and pinned memory.
+
+The CG numerics are real (the distributed eigenvalue estimate is checked
+against a serial numpy run), so this example doubles as an end-to-end
+validation of the MPI library.
+
+Run:  python examples/nas_cg_study.py [class] [nprocs]
+      e.g. python examples/nas_cg_study.py W 16
+"""
+
+import sys
+
+from repro import BERKELEY, CLAN, ClusterSpec, MpiConfig, run_job
+from repro.apps.npb import cg
+
+
+def run_mode(spec, nprocs, npb_class, connection, completion):
+    result = run_job(
+        spec, nprocs, cg.make_cg(npb_class),
+        MpiConfig(connection=connection, completion=completion),
+    )
+    res = result.returns[0]
+    return result, res
+
+
+def main():
+    npb_class = sys.argv[1] if len(sys.argv) > 1 else "W"
+    nprocs = int(sys.argv[2]) if len(sys.argv) > 2 else 16
+
+    reference = cg.serial_reference(npb_class)
+    print(f"NAS CG class {npb_class} on {nprocs} processes")
+    print(f"serial numpy reference zeta: {reference:.10f}\n")
+
+    header = (f"{'fabric':>8} {'connection':>12} {'completion':>10} "
+              f"{'time(ms)':>9} {'VIs':>6} {'init(µs)':>9} {'zeta ok':>8}")
+    print(header)
+    print("-" * len(header))
+
+    clan = ClusterSpec(nodes=8, ppn=4, profile=CLAN)
+    bvia = ClusterSpec(nodes=8, ppn=1, profile=BERKELEY)
+
+    modes = [
+        (clan, nprocs, "static-p2p", "polling"),
+        (clan, nprocs, "static-p2p", "spinwait"),
+        (clan, nprocs, "ondemand", "polling"),
+        (bvia, min(nprocs, 8), "static-p2p", "polling"),
+        (bvia, min(nprocs, 8), "ondemand", "polling"),
+    ]
+    for spec, n, connection, completion in modes:
+        result, res = run_mode(spec, n, npb_class, connection, completion)
+        ok = abs(res.verification - cg.serial_reference(npb_class)) < 1e-6
+        print(f"{spec.profile.name:>8} {connection:>12} {completion:>10} "
+              f"{res.time_us / 1e3:9.2f} {result.resources.avg_vis:6.2f} "
+              f"{result.avg_init_time_us:9.1f} {str(ok):>8}")
+
+    print("\nWhat to look for (the paper's results):")
+    print(" * cLAN: on-demand time ~= static polling; spinwait slower;")
+    print(" * Berkeley VIA: on-demand faster (fewer VIs on the NIC);")
+    print(" * on-demand creates ~log2(P) VIs instead of P-1;")
+    print(" * on-demand MPI_Init is near-instant.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python
+"""Quickstart: run an MPI program on a simulated VIA cluster.
+
+The library reproduces the system of "Impact of On-Demand Connection
+Management in MPI over VIA" (CLUSTER 2002): a cluster of nodes with
+GigaNet cLAN or Berkeley VIA NICs, and an MVICH-style MPI whose
+connection management is either *static* (fully connected in MPI_Init)
+or *on-demand* (connections created on first use — the paper's idea).
+
+This example runs a tiny stencil program under both managers and prints
+what the paper's Table 2 is about: the on-demand run only creates the
+VIs (and their pinned buffers) the communication pattern actually uses.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import ClusterSpec, MpiConfig, run_job
+
+
+def stencil_program(mpi):
+    """Each rank exchanges halos with its ring neighbours, then the job
+    agrees on a residual with an allreduce — a miniature PDE solver."""
+    n = 64
+    field = np.full(n, float(mpi.rank))
+    left = (mpi.rank - 1) % mpi.size
+    right = (mpi.rank + 1) % mpi.size
+
+    halo = np.empty(1)
+    for _step in range(5):
+        # send my right edge to the right neighbour, receive my left halo
+        yield from mpi.sendrecv(field[-1:].copy(), right, halo, left)
+        field[0] = 0.5 * (field[0] + halo[0])
+        # model the local stencil computation: ~3 flops per point
+        yield from mpi.compute(3.0 * n / 200.0)
+
+    residual = np.empty(1)
+    yield from mpi.allreduce(np.array([float(field.sum())]), residual)
+    return float(residual[0])
+
+
+def main():
+    spec = ClusterSpec(nodes=8, ppn=2)  # 8 dual-CPU nodes on cLAN VIA
+    nprocs = 16
+
+    for connection in ("static-p2p", "ondemand"):
+        result = run_job(spec, nprocs, stencil_program,
+                         MpiConfig(connection=connection))
+        res = result.resources
+        print(f"--- {connection} ---")
+        print(f"  answer (all ranks agree): {result.returns[0]:.1f}")
+        print(f"  MPI_Init time:            {result.avg_init_time_us:9.1f} µs")
+        print(f"  VIs created per process:  {res.avg_vis:5.2f}")
+        print(f"  VIs actually used:        {res.avg_vis_used:5.2f}")
+        print(f"  resource utilization:     {res.utilization:5.2f}")
+        print(f"  pinned memory (total):    {res.total_pinned_peak_bytes / 1e6:6.2f} MB")
+        print(f"  pinned but never used:    {res.total_unused_pinned_bytes / 1e6:6.2f} MB")
+        print()
+
+
+if __name__ == "__main__":
+    main()

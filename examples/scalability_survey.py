@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Survey: how connection demand scales with application pattern and size.
+
+This is the paper's scalability argument (§1, Tables 1–2) as a runnable
+study: for a set of workloads — the Table-1 application patterns plus
+NAS kernels — measure how many connections each process really needs as
+the job grows, and what that costs in pinned pre-posted memory under
+static versus on-demand management.
+
+Run:  python examples/scalability_survey.py [max_procs]
+      (default 64; sizes double from 8 up to max_procs)
+"""
+
+import sys
+
+from repro import ClusterSpec, MpiConfig, run_job
+from repro.apps import micro
+from repro.apps.npb import KERNELS
+from repro.apps.patterns import PATTERNS
+
+
+def survey_workloads():
+    return {
+        "Ring": lambda: micro.ring(rounds=3),
+        "Barrier": lambda: micro.barrier_latency(iterations=5),
+        "Sweep3D": lambda: PATTERNS["Sweep3D"](),
+        "sPPM": lambda: PATTERNS["sPPM"](),
+        "CG": lambda: KERNELS["cg"]("S"),
+        "IS": lambda: KERNELS["is"]("S"),
+    }
+
+
+def main():
+    max_procs = int(sys.argv[1]) if len(sys.argv) > 1 else 64
+    sizes = []
+    n = 8
+    while n <= max_procs:
+        sizes.append(n)
+        n *= 2
+
+    print(f"{'workload':>10} {'P':>5} {'VIs used':>9} {'of static':>9} "
+          f"{'util':>6} {'pinned saved (MB)':>18}")
+    print("-" * 62)
+    for name, make in survey_workloads().items():
+        for nprocs in sizes:
+            spec = ClusterSpec(nodes=max(8, nprocs // 4), ppn=4)
+            try:
+                result = run_job(spec, nprocs, make(),
+                                 MpiConfig(connection="ondemand"))
+            except Exception as exc:  # size constraints (divisibility)
+                print(f"{name:>10} {nprocs:>5}   skipped ({exc})")
+                continue
+            res = result.resources
+            per_vi = res.per_process[0].pinned_per_vi_bytes
+            saved = (nprocs - 1 - res.avg_vis) * per_vi * nprocs / 1e6
+            print(f"{name:>10} {nprocs:>5} {res.avg_vis:9.2f} "
+                  f"{nprocs - 1:9d} {res.avg_vis / (nprocs - 1):6.2f} "
+                  f"{saved:18.1f}")
+        print()
+
+    print("Reading: 'VIs used' is what on-demand management allocates;")
+    print("'of static' is what the fully-connected static model pins.")
+    print("For log-scale patterns the gap widens with P — the paper's")
+    print("core scalability argument (119 GB wasted for CG at P=1024).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,48 @@
+"""repro — reproduction of "Impact of On-Demand Connection Management in
+MPI over VIA" (Wu, Liu, Wyckoff, Panda — IEEE CLUSTER 2002).
+
+The package simulates a VIA cluster (GigaNet cLAN and Berkeley VIA on
+Myrinet profiles), implements an MVICH-style MPI library over it with
+**static** and **on-demand** connection management, and ships the
+workloads and harness that regenerate every table and figure of the
+paper's evaluation.
+
+Quick start::
+
+    import numpy as np
+    from repro import ClusterSpec, MpiConfig, run_job
+
+    def prog(mpi):
+        x = np.full(4, float(mpi.rank))
+        out = np.empty(4)
+        yield from mpi.allreduce(x, out)
+        return float(out[0])
+
+    result = run_job(ClusterSpec(nodes=8, ppn=2), nprocs=16, program=prog,
+                     config=MpiConfig(connection="ondemand"))
+    print(result.returns[0], result.resources.avg_vis)
+
+Layers (bottom up): :mod:`repro.sim` (discrete-event engine),
+:mod:`repro.memory` (pinned-memory substrate), :mod:`repro.fabric`
+(network), :mod:`repro.via` (VIA provider), :mod:`repro.mpi` (the MPI
+library), :mod:`repro.cluster` (job runtime), :mod:`repro.apps`
+(workloads incl. NAS kernels), :mod:`repro.bench` (paper experiments).
+"""
+
+from repro.cluster import ClusterSpec, JobResult, run_job
+from repro.mpi import MpiConfig
+from repro.via import BERKELEY, CLAN, ViaProfile, profile_by_name
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "ClusterSpec",
+    "JobResult",
+    "run_job",
+    "MpiConfig",
+    "CLAN",
+    "BERKELEY",
+    "ViaProfile",
+    "profile_by_name",
+    "__version__",
+]

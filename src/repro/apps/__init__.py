@@ -1,0 +1,13 @@
+"""Workloads: microbenchmarks, NAS parallel kernels, and the Table-1
+communication-pattern generators.
+
+Everything here is an ordinary user of the public MPI facade — rank
+programs suitable for :func:`repro.cluster.run_job` — so the workloads
+double as end-to-end exercises of the library.
+"""
+
+from repro.apps import micro
+from repro.apps import npb
+from repro.apps import patterns
+
+__all__ = ["micro", "npb", "patterns"]

@@ -1,0 +1,227 @@
+"""Microbenchmarks: the programs behind Figures 1–5 and Table 2.
+
+Each benchmark is a rank-program *factory*: calling it with parameters
+returns a generator function for :func:`repro.cluster.run_job`.  Where
+the paper's harness gathers per-process results to the master (both the
+barrier and the llcbench allreduce tests do, §5.4), ours does too — that
+traffic is part of the measured connection pattern.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.mpi.constants import SUM
+
+
+def pingpong(sizes: Sequence[int], iterations: int = 20, warmup: int = 2):
+    """Half-round-trip latency between ranks 0 and 1.
+
+    Returns per rank: list of (payload_bytes, latency_us) on rank 0,
+    None elsewhere.  ``sizes`` are payload bytes (uint8 elements).
+    """
+
+    def prog(mpi):
+        results = []
+        other = 1 - mpi.rank
+        if mpi.rank > 1:
+            return None
+        for size in sizes:
+            payload = np.zeros(max(size, 0), dtype=np.uint8) if size else None
+            buf = np.empty(max(size, 0), dtype=np.uint8) if size else None
+            for it in range(warmup + iterations):
+                if it == warmup:
+                    t0 = mpi.wtime()
+                if mpi.rank == 0:
+                    yield from mpi.send(payload, other, tag=1)
+                    yield from mpi.recv(buf, source=other, tag=2)
+                else:
+                    yield from mpi.recv(buf, source=other, tag=1)
+                    yield from mpi.send(payload, other, tag=2)
+            if mpi.rank == 0:
+                elapsed = mpi.wtime() - t0
+                results.append((size, elapsed / (2 * iterations)))
+        return results if mpi.rank == 0 else None
+
+    return prog
+
+
+def bandwidth(sizes: Sequence[int], window: int = 8, iterations: int = 5):
+    """Streaming bandwidth, MVICH-test style: ``window`` isends then a
+    credit-return ack per iteration.  Returns on rank 0 a list of
+    (payload_bytes, MB_per_s)."""
+
+    def prog(mpi):
+        results = []
+        if mpi.rank > 1:
+            return None
+        for size in sizes:
+            if mpi.rank == 0:
+                payload = np.zeros(size, dtype=np.uint8)
+                ack = np.empty(1, dtype=np.uint8)
+                for it in range(iterations + 1):
+                    if it == 1:  # first window is untimed warm-up
+                        t0 = mpi.wtime()
+                    reqs = [mpi.isend(payload, 1, tag=3) for _ in range(window)]
+                    yield from mpi.waitall(reqs)
+                    yield from mpi.recv(ack, source=1, tag=4)
+                elapsed = mpi.wtime() - t0
+                total = size * window * iterations
+                results.append((size, total / max(elapsed, 1e-9)))  # B/µs == MB/s
+            else:
+                bufs = [np.empty(size, dtype=np.uint8) for _ in range(window)]
+                for _ in range(iterations + 1):
+                    # pre-post the whole window so rendezvous pipelines
+                    reqs = [mpi.irecv(b, source=0, tag=3) for b in bufs]
+                    yield from mpi.waitall(reqs)
+                    yield from mpi.send(np.zeros(1, dtype=np.uint8), 0, tag=4)
+        return results if mpi.rank == 0 else None
+
+    return prog
+
+
+def _gather_average(mpi, value: float):
+    """The paper's reporting step: the master averages the per-process
+    values.  A binomial-tree reduce carries the sum to rank 0; its edges
+    are a subset of the recursive-doubling partner set, so reporting
+    adds **no connections** — Table 2's counts stay those of the
+    collective under test (the paper's counts imply the same)."""
+    out = np.empty(1) if mpi.rank == 0 else None
+    yield from mpi.reduce(np.array([value]), out, op=SUM, root=0)
+    if mpi.rank == 0:
+        return float(out[0]) / mpi.size
+    return None
+
+
+def barrier_latency(iterations: int = 1000):
+    """Figure 4: average barrier latency, gathered to the master."""
+
+    def prog(mpi):
+        yield from mpi.barrier()  # warm up / connect
+        t0 = mpi.wtime()
+        for _ in range(iterations):
+            yield from mpi.barrier()
+        mine = (mpi.wtime() - t0) / iterations
+        return (yield from _gather_average(mpi, mine))
+
+    return prog
+
+
+def allreduce_latency(iterations: int = 100, elements: int = 4):
+    """Figure 5: llcbench-style MPI_Allreduce(MPI_SUM) latency."""
+
+    def prog(mpi):
+        x = np.full(elements, float(mpi.rank))
+        out = np.empty(elements)
+        yield from mpi.allreduce(x, out, op=SUM)  # warm up / connect
+        t0 = mpi.wtime()
+        for _ in range(iterations):
+            yield from mpi.allreduce(x, out, op=SUM)
+        mine = (mpi.wtime() - t0) / iterations
+        return (yield from _gather_average(mpi, mine))
+
+    return prog
+
+
+def bcast_loop(iterations: int = 50, elements: int = 8,
+               rotate_root: bool = False, sync: bool = True):
+    """Table 2's Bcast row: repeated broadcasts.
+
+    ``sync`` adds the per-iteration barrier that bcast timing benchmarks
+    (llcbench/mpbench) need to defeat pipelining; the barrier's
+    recursive-doubling partners then dominate the connection count —
+    log2(P), which is exactly the paper's Bcast row (4 at 16, 5 at 32).
+    ``rotate_root`` instead varies the root, widening the tree union."""
+
+    def prog(mpi):
+        buf = np.zeros(elements)
+        for i in range(iterations):
+            root = i % mpi.size if rotate_root else 0
+            if mpi.rank == root:
+                buf[:] = float(i)
+            yield from mpi.bcast(buf, root=root)
+            if sync:
+                yield from mpi.barrier()
+        return (yield from _gather_average(mpi, float(buf[0])))
+
+    return prog
+
+
+def allgather_loop(iterations: int = 50, elements: int = 4):
+    def prog(mpi):
+        mine = np.full(elements, float(mpi.rank))
+        recv = np.empty(elements * mpi.size)
+        for _ in range(iterations):
+            yield from mpi.allgather(mine, recv)
+        return (yield from _gather_average(mpi, float(recv.sum())))
+
+    return prog
+
+
+def alltoall_loop(iterations: int = 20, elements_per_peer: int = 4):
+    def prog(mpi):
+        send = np.arange(float(elements_per_peer * mpi.size))
+        recv = np.empty_like(send)
+        for _ in range(iterations):
+            yield from mpi.alltoall(send, recv)
+        return (yield from _gather_average(mpi, float(recv.sum())))
+
+    return prog
+
+
+def ring(rounds: int = 10, elements: int = 64):
+    """Table 2's Ring row: nearest-neighbour traffic around a ring."""
+
+    def prog(mpi):
+        right = (mpi.rank + 1) % mpi.size
+        left = (mpi.rank - 1) % mpi.size
+        out = np.full(elements, float(mpi.rank))
+        inbox = np.empty(elements)
+        for _ in range(rounds):
+            yield from mpi.sendrecv(out, right, inbox, left)
+            out = inbox.copy()
+        return float(inbox[0])
+
+    return prog
+
+
+def dormant_vi_pingpong(extra_peers: int, size: int = 4,
+                        iterations: int = 20, warmup: int = 2):
+    """Figure 1's probe: rank 0 opens connections to ``extra_peers``
+    dormant peers (one message each), then measures pingpong latency with
+    rank 1.  On Berkeley VIA the dormant VIs inflate the NIC's doorbell
+    scan; on cLAN they are free."""
+
+    def prog(mpi):
+        token = np.zeros(1, dtype=np.uint8)
+        tiny = np.empty(1, dtype=np.uint8)
+        # open dormant connections from both pingpong endpoints so both
+        # NICs carry the same number of active VIs
+        for opener in (0, 1):
+            peers = [p for p in range(2, 2 + extra_peers)]
+            if mpi.rank == opener:
+                for p in peers:
+                    yield from mpi.send(token, p, tag=opener)
+            elif mpi.rank in peers:
+                yield from mpi.recv(tiny, source=opener, tag=opener)
+        if mpi.rank > 1:
+            return None
+        payload = np.zeros(size, dtype=np.uint8)
+        buf = np.empty(size, dtype=np.uint8)
+        other = 1 - mpi.rank
+        for it in range(warmup + iterations):
+            if it == warmup:
+                t0 = mpi.wtime()
+            if mpi.rank == 0:
+                yield from mpi.send(payload, other, tag=9)
+                yield from mpi.recv(buf, source=other, tag=9)
+            else:
+                yield from mpi.recv(buf, source=other, tag=9)
+                yield from mpi.send(payload, other, tag=9)
+        if mpi.rank == 0:
+            return (mpi.wtime() - t0) / (2 * iterations)
+        return None
+
+    return prog

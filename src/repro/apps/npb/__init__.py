@@ -1,0 +1,39 @@
+"""NAS Parallel Benchmark kernels on the simulated MPI.
+
+The paper evaluates MG, CG, IS, SP, BT (and EP on Berkeley VIA).  Each
+kernel here moves **real numpy data** through the library — so its
+numerics are testable — while local computation is charged to the
+simulated clock through a flop-count cost model
+(:mod:`repro.apps.npb.common`).
+
+Scaled problem classes: the original Class A/B/C grids would take hours
+of host time in a pure-Python DES, so each kernel defines classes
+(``S``/``W``/``A``/``B``...) whose *sizes* are scaled down but whose
+communication structure per iteration is the authentic one — what the
+paper's connection-management results depend on.  DESIGN.md documents
+this substitution.
+
+Deviations from the Fortran originals (documented per module): CG uses
+a 1-D row decomposition with a recursive-doubling allgather (log-scale
+partner set like the original's 2-D scheme); MG's coarse-grid correction
+is block-local (halo pattern per level is authentic); SP/BT implement
+the face-exchange skeleton of the multipartition sweeps with a synthetic
+line-solve.
+"""
+
+from repro.apps.npb.common import CostModel, NpbResult
+from repro.apps.npb import cg, ep, is_, mg, sp, ft, lu
+
+KERNELS = {
+    "cg": cg.make_cg,
+    "mg": mg.make_mg,
+    "is": is_.make_is,
+    "ep": ep.make_ep,
+    "sp": sp.make_sp,
+    "bt": sp.make_bt,
+    "ft": ft.make_ft,
+    "lu": lu.make_lu,
+}
+
+__all__ = ["CostModel", "NpbResult", "KERNELS",
+           "cg", "ep", "is_", "mg", "sp", "ft", "lu"]

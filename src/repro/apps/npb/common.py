@@ -1,0 +1,61 @@
+"""Shared NPB plumbing: cost model, result record, verification helper."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Charges local computation to the simulated clock.
+
+    Calibrated loosely to the testbed's 700 MHz Pentium III Xeon:
+    ~200 sustained MFLOPS on stride-1 double kernels, ~400 MB/s memory
+    streams.  Only *relative* magnitudes matter for the paper's
+    normalized comparisons.
+    """
+
+    flops_per_us: float = 200.0
+    mem_bytes_per_us: float = 400.0
+
+    def flops(self, n: float) -> float:
+        """µs charged for ``n`` floating-point operations."""
+        return n / self.flops_per_us
+
+    def mem(self, nbytes: float) -> float:
+        """µs charged for streaming ``nbytes`` through memory."""
+        return nbytes / self.mem_bytes_per_us
+
+
+DEFAULT_COST = CostModel()
+
+
+@dataclass
+class NpbResult:
+    """What each rank returns from an NPB kernel run."""
+
+    benchmark: str
+    npb_class: str
+    nprocs: int
+    #: simulated wall time of the timed section, µs (the paper's "CPU time")
+    time_us: float
+    #: benchmark-specific verification scalar (same on every rank)
+    verification: float
+    #: True if the kernel's internal check passed
+    verified: bool
+    iterations: int = 0
+
+    @property
+    def time_s(self) -> float:
+        return self.time_us / 1e6
+
+
+def class_params(table: dict, npb_class: str, benchmark: str):
+    try:
+        return table[npb_class.upper()]
+    except KeyError:
+        raise ValueError(
+            f"{benchmark}: unknown class {npb_class!r}; "
+            f"available: {sorted(table)}"
+        ) from None

@@ -1,0 +1,104 @@
+"""NPB FT: distributed 3-D FFT (extension kernel).
+
+The paper's evaluation shows MG/CG/IS/SP/BT (+EP), but the NPB suite it
+discusses includes FT; we ship it for completeness.  Structure follows
+the original's transpose algorithm on a 1-D ("slab") decomposition:
+
+1. local 2-D FFTs over the two in-slab dimensions,
+2. a global transpose — one big ``alltoall`` (FT is the other
+   fully-connected benchmark besides IS),
+3. local 1-D FFTs over the remaining dimension,
+4. a checksum ``allreduce`` per iteration.
+
+Numerics are real ``numpy.fft`` calls on real complex data; tests verify
+the distributed spectrum against a serial ``np.fft.fftn``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.npb.common import DEFAULT_COST, NpbResult, class_params
+from repro.mpi.constants import SUM
+
+#: (n, iterations) — global grid n³, scaled down
+CLASSES = {
+    "S": (16, 2),
+    "W": (16, 4),
+    "A": (32, 4),
+    "B": (32, 6),
+    "C": (64, 4),
+}
+
+
+def global_field(n: int, seed: int = 9) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    return (rng.standard_normal((n, n, n))
+            + 1j * rng.standard_normal((n, n, n)))
+
+
+def make_ft(npb_class: str = "S", seed: int = 9, cost=DEFAULT_COST):
+    n, iterations = class_params(CLASSES, npb_class, "FT")
+
+    def prog(mpi):
+        size, rank = mpi.size, mpi.rank
+        if n % size:
+            raise ValueError(
+                f"FT class {npb_class}: {n} planes not divisible by {size}")
+        slab = n // size
+        field = global_field(n, seed)[rank * slab:(rank + 1) * slab]
+        checksum = 0.0
+
+        def transpose_xz(data):
+            """alltoall-based global transpose.
+
+            Input: ``data[x_local, y, z]`` with the x axis distributed.
+            Output: ``out[z_local, y, x]`` with the z axis distributed
+            and the full x axis local (ready for the final 1-D FFTs).
+            """
+            # carve my slab into per-destination bricks along z
+            send = np.ascontiguousarray(
+                np.concatenate(
+                    [data[:, :, d * slab:(d + 1) * slab].reshape(-1)
+                     for d in range(size)])
+            )
+            recv = np.empty_like(send)
+            yield from mpi.alltoall(send, recv)
+            brick = slab * n * slab
+            out = np.empty((slab, n, n), dtype=complex)
+            for s in range(size):
+                # source s sent its x-range of my z-range: (x_s, y, z_my)
+                part = recv[s * brick:(s + 1) * brick].reshape(slab, n, slab)
+                out[:, :, s * slab:(s + 1) * slab] = part.transpose(2, 1, 0)
+            return out
+
+        yield from mpi.barrier()
+        t0 = mpi.wtime()
+        spectrum = None
+        for _ in range(iterations):
+            work = field.copy()
+            yield from mpi.compute(
+                cost.flops(5.0 * work.size * np.log2(max(n, 2)) * 2))
+            # local FFTs over the two in-slab axes (y then z) ...
+            work = np.fft.fft(work, axis=1)
+            work = np.fft.fft(work, axis=2)
+            # ... transpose so x becomes local ...
+            work = yield from transpose_xz(work)
+            yield from mpi.compute(
+                cost.flops(5.0 * work.size * np.log2(max(n, 2))))
+            work = np.fft.fft(work, axis=2)
+            spectrum = work
+            local_sum = np.array([float(np.abs(work).sum())])
+            out = np.empty(1)
+            yield from mpi.allreduce(local_sum, out, op=SUM)
+            checksum = float(out[0])
+        elapsed = mpi.wtime() - t0
+
+        return NpbResult(
+            benchmark="FT", npb_class=npb_class.upper(), nprocs=size,
+            time_us=elapsed, verification=checksum,
+            verified=bool(np.isfinite(checksum) and checksum > 0),
+            iterations=iterations,
+        ), spectrum
+
+    return prog

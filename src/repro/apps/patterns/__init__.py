@@ -1,0 +1,19 @@
+"""Table-1 communication-pattern workloads."""
+
+from repro.apps.patterns.generators import (
+    PATTERNS,
+    make_samrai,
+    make_smg2000,
+    make_sphot,
+    make_sppm,
+    make_sweep3d,
+)
+
+__all__ = [
+    "PATTERNS",
+    "make_sppm",
+    "make_smg2000",
+    "make_sphot",
+    "make_sweep3d",
+    "make_samrai",
+]

@@ -1,0 +1,179 @@
+"""Ablation studies over the library's design knobs.
+
+Not part of the paper's evaluation, but each sweep isolates one design
+choice the reproduction (and MVICH itself) bakes in:
+
+* ``ablation_threshold`` — where should eager end and rendezvous begin?
+  (the paper observes "a threshold greater than 5000 is expected to
+  deliver better performance", §5.3)
+* ``ablation_credits`` — how many pre-posted buffers does a one-way
+  stream need before flow control stops throttling it?
+* ``ablation_rndv_window`` — how many concurrent rendezvous transfers
+  until large-message bandwidth saturates?
+* ``ablation_spincount`` — the spin window's tipping point between
+  "spinwait == polling" and the barrier blow-up of Figure 4.
+* ``ablation_dynamic`` — the §6 extension's trade: pinned memory vs.
+  time as the initial window shrinks.
+* ``ablation_placement`` — block vs. cyclic rank placement for an NPB
+  kernel (loopback traffic vs. wire traffic).
+"""
+
+from __future__ import annotations
+
+from repro.apps import micro
+from repro.apps.npb import KERNELS
+from repro.bench.report import Experiment
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.via.profiles import CLAN
+
+
+def _two_nodes() -> ClusterSpec:
+    return ClusterSpec(nodes=2, ppn=1, profile=CLAN)
+
+
+def ablation_threshold(fast: bool = True) -> Experiment:
+    """Bandwidth at fixed sizes as the eager/rendezvous threshold moves."""
+    thresholds = [2000, 5000, 10000] if fast else [1000, 2000, 5000, 8000, 12000, 20000]
+    probe_sizes = [4096, 8192, 16384]
+    exp = Experiment(
+        "Ablation: eager threshold",
+        "Bandwidth (MB/s) by protocol threshold",
+        ["threshold"] + [f"{s}B" for s in probe_sizes],
+        notes=("§5.3: the paper expects thresholds above 5000 B to help — "
+               "mid-size messages avoid the rendezvous handshake."),
+    )
+    for threshold in thresholds:
+        res = run_job(_two_nodes(), 2, micro.bandwidth(probe_sizes),
+                      MpiConfig(eager_threshold=threshold))
+        row = {f"{s}B": bw for (s, bw) in res.returns[0]}
+        exp.add(f"T={threshold}", threshold=threshold, **row)
+    return exp
+
+
+def ablation_credits(fast: bool = True) -> Experiment:
+    """One-way small-message stream throughput vs. credit count."""
+    counts = [2, 6, 15] if fast else [1, 2, 4, 8, 15, 24, 32]
+    n = 150
+
+    def one_way(mpi):
+        import numpy as np
+
+        if mpi.rank == 0:
+            reqs = [mpi.isend(np.zeros(512, dtype=np.uint8), 1, tag=0)
+                    for _ in range(n)]
+            yield from mpi.waitall(reqs)
+            return mpi.wtime()
+        buf = np.empty(512, dtype=np.uint8)
+        for _ in range(n):
+            yield from mpi.recv(buf, source=0, tag=0)
+        return mpi.wtime()
+
+    exp = Experiment(
+        "Ablation: eager credits",
+        "One-way stream completion time (µs) vs. per-VI credits",
+        ["credits", "time_us", "pinned_per_vi_kB"],
+        notes="Fewer credits throttle the stream; more pin more memory.",
+    )
+    for credits in counts:
+        cfg = MpiConfig(data_credits=credits)
+        res = run_job(_two_nodes(), 2, one_way, cfg)
+        per_vi = (cfg.prepost_count + cfg.send_pool_count) * cfg.eager_threshold
+        exp.add(f"C={credits}", credits=credits,
+                time_us=max(res.returns),
+                pinned_per_vi_kB=per_vi / 1000.0)
+    return exp
+
+
+def ablation_rndv_window(fast: bool = True) -> Experiment:
+    """Large-message bandwidth vs. outstanding-rendezvous window."""
+    windows = [1, 4] if fast else [1, 2, 4, 8]
+    exp = Experiment(
+        "Ablation: rendezvous window",
+        "64 KiB-message bandwidth (MB/s) vs. RTS window",
+        ["window", "bandwidth"],
+        notes="Window 1 serializes handshakes; a few in flight pipeline.",
+    )
+    for window in windows:
+        res = run_job(_two_nodes(), 2,
+                      micro.bandwidth([65536], window=8, iterations=4),
+                      MpiConfig(rndv_window=window))
+        exp.add(f"W={window}", window=window, bandwidth=res.returns[0][0][1])
+    return exp
+
+
+def ablation_spincount(fast: bool = True) -> Experiment:
+    """Barrier latency vs. spincount: where spinwait tips over."""
+    counts = [20, 100, 400] if fast else [10, 20, 50, 100, 200, 400, 1000]
+    nprocs = 16
+    exp = Experiment(
+        "Ablation: spincount",
+        f"{nprocs}-process barrier latency (µs) vs. spincount",
+        ["spincount", "spinwait_us", "polling_us", "blocking_waits"],
+        notes=("Below the tipping point every wait overruns the spin "
+               "window and pays wakeups; above it spinwait == polling."),
+    )
+    spec = ClusterSpec(nodes=8, ppn=2)
+    polling = run_job(spec, nprocs, micro.barrier_latency(iterations=50),
+                      MpiConfig(completion="polling"))
+    for spincount in counts:
+        res = run_job(spec, nprocs, micro.barrier_latency(iterations=50),
+                      MpiConfig(completion="spinwait", spincount=spincount))
+        blocks = sum(p.blocking_waits for p in res.resources.per_process)
+        exp.add(f"S={spincount}", spincount=spincount,
+                spinwait_us=res.returns[0], polling_us=polling.returns[0],
+                blocking_waits=blocks)
+    return exp
+
+
+def ablation_dynamic(fast: bool = True) -> Experiment:
+    """§6 extension: initial window size vs. memory and runtime."""
+    initials = [2, 8] if fast else [1, 2, 4, 8, 15]
+    nprocs = 16
+    exp = Experiment(
+        "Ablation: dynamic flow control",
+        "CG.S.16: pinned memory and time vs. initial credit window",
+        ["initial", "pinned_MB", "time_ms"],
+        notes=("Small initial windows pin far less memory; growth grants "
+               "recover most of the throughput."),
+    )
+    spec = ClusterSpec(nodes=8, ppn=2)
+    base = run_job(spec, nprocs, KERNELS["cg"]("S"), MpiConfig())
+    exp.add("static window", initial=MpiConfig().data_credits,
+            pinned_MB=base.resources.total_pinned_peak_bytes / 1e6,
+            time_ms=base.returns[0].time_us / 1e3)
+    for initial in initials:
+        cfg = MpiConfig(dynamic_buffers=True, initial_credits=initial)
+        res = run_job(spec, nprocs, KERNELS["cg"]("S"), cfg)
+        exp.add(f"I={initial}", initial=initial,
+                pinned_MB=res.resources.total_pinned_peak_bytes / 1e6,
+                time_ms=res.returns[0].time_us / 1e3)
+    return exp
+
+
+def ablation_placement(fast: bool = True) -> Experiment:
+    """Block vs. cyclic rank placement for CG (loopback locality)."""
+    exp = Experiment(
+        "Ablation: rank placement",
+        "CG time (ms) under block vs. cyclic placement",
+        ["placement", "time_ms"],
+        notes=("Placement changes which partners are NIC-loopback; the "
+               "effect is small on cLAN but nonzero."),
+    )
+    for placement in ("cyclic", "block"):
+        spec = ClusterSpec(nodes=8, ppn=2, placement=placement)
+        res = run_job(spec, 16, KERNELS["cg"]("S" if fast else "A"),
+                      MpiConfig())
+        exp.add(placement, placement=placement,
+                time_ms=res.returns[0].time_us / 1e3)
+    return exp
+
+
+ALL_ABLATIONS = {
+    "abl-threshold": ablation_threshold,
+    "abl-credits": ablation_credits,
+    "abl-rndv": ablation_rndv_window,
+    "abl-spin": ablation_spincount,
+    "abl-dynamic": ablation_dynamic,
+    "abl-placement": ablation_placement,
+}

@@ -1,0 +1,68 @@
+"""Command-line harness: ``python -m repro.bench`` / ``repro-bench``.
+
+Examples::
+
+    python -m repro.bench all                 # every table and figure, fast
+    python -m repro.bench fig4 fig8 table2    # a subset
+    python -m repro.bench all --full          # the paper's parameters
+    python -m repro.bench table1 --large      # add the scaling column
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.ablations import ALL_ABLATIONS
+from repro.bench.figures import ALL_FIGURES
+from repro.bench.tables import ALL_TABLES
+
+EXPERIMENTS = {**ALL_FIGURES, **ALL_TABLES, **ALL_ABLATIONS}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments", nargs="+",
+        help=f"experiment ids ({', '.join(sorted(EXPERIMENTS))}) or 'all'",
+    )
+    parser.add_argument(
+        "--full", action="store_true",
+        help="use the paper's full parameters (slow)",
+    )
+    parser.add_argument(
+        "--large", action="store_true",
+        help="table1: add the 256-process scaling column",
+    )
+    args = parser.parse_args(argv)
+
+    if "all" in args.experiments:
+        # 'all' covers the paper's tables and figures; ablations are
+        # opt-in by name (or via 'ablations')
+        names = sorted(set(EXPERIMENTS) - set(ALL_ABLATIONS))
+    elif "ablations" in args.experiments:
+        names = sorted(ALL_ABLATIONS)
+    else:
+        names = args.experiments
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiments: {unknown}")
+
+    for name in names:
+        start = time.time()
+        runner = EXPERIMENTS[name]
+        if name == "table1":
+            exp = runner(fast=not args.full, large=args.large)
+        else:
+            exp = runner(fast=not args.full)
+        print(exp.render())
+        print(f"[{name} took {time.time() - start:.1f}s wall]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

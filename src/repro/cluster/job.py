@@ -1,0 +1,198 @@
+"""Job execution: build the stack, run rank programs, collect results.
+
+One :func:`run_job` call simulates one ``mpirun``: it instantiates the
+fabric, NICs, kernel agents, per-process providers and ADI devices,
+spawns every rank program as a DES coroutine wrapped in
+``MPI_Init`` / ``MPI_Finalize``, runs the engine to quiescence, and
+returns a :class:`JobResult`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.oob import OobBoard
+from repro.cluster.spec import ClusterSpec
+from repro.fabric.network import Network
+from repro.memory.registry import MemoryRegistry
+from repro.metrics.resources import ResourceReport, collect_resources
+from repro.mpi.adi import AbstractDevice
+from repro.mpi.communicator import Communicator
+from repro.mpi.config import MpiConfig
+from repro.mpi.conn import make_connection_manager
+from repro.mpi.facade import MpiProcess
+from repro.sim.engine import Engine, SimulationError
+from repro.sim.rng import RngStreams
+from repro.via.agent import ConnectionAgent
+from repro.via.nic import Nic
+from repro.via.provider import ViConfig, ViaProvider
+
+#: a rank program: generator function taking (mpi, *args)
+RankProgram = Callable[..., Any]
+
+
+class JobError(RuntimeError):
+    """A rank program failed or the job deadlocked."""
+
+
+@dataclass
+class JobResult:
+    """Everything measured from one simulated job."""
+
+    nprocs: int
+    config: MpiConfig
+    spec: ClusterSpec
+    #: per-rank return values of the rank programs
+    returns: List[Any]
+    #: per-rank MPI_Init duration, µs (paper Figure 8)
+    init_times_us: List[float]
+    #: simulated time when the last rank left its program body, µs
+    finished_at_us: float
+    #: end-to-end simulated job time including finalize, µs
+    total_time_us: float
+    #: resource snapshot taken before finalize teardown
+    resources: ResourceReport
+    #: NIC drop counters (must be zero unless failure injection is on)
+    dropped_messages: int
+    events_processed: int
+
+    @property
+    def avg_init_time_us(self) -> float:
+        return sum(self.init_times_us) / len(self.init_times_us)
+
+    @property
+    def max_init_time_us(self) -> float:
+        return max(self.init_times_us)
+
+
+def run_job(
+    spec: ClusterSpec,
+    nprocs: int,
+    program: RankProgram,
+    config: Optional[MpiConfig] = None,
+    program_args: tuple = (),
+    per_rank_args: Optional[List[tuple]] = None,
+    engine: Optional[Engine] = None,
+    allow_drops: bool = False,
+) -> JobResult:
+    """Simulate one MPI job and return its measurements.
+
+    Parameters
+    ----------
+    program:
+        Generator function ``prog(mpi, *args)``; its return value lands
+        in ``JobResult.returns``.
+    per_rank_args:
+        Optional per-rank argument tuples (overrides ``program_args``).
+    allow_drops:
+        Permit NIC message drops (failure-injection tests only).
+    """
+    config = config or MpiConfig()
+    spec.validate_nprocs(nprocs)
+    if config.connection == "static-cs" and not spec.profile.supports_client_server:
+        raise JobError(
+            f"profile {spec.profile.name!r} does not support the "
+            "client/server connection model"
+        )
+
+    engine = engine or Engine()
+    rng = RngStreams(spec.seed)
+    network = Network(engine, spec.profile.link, name=spec.profile.name)
+    nics: List[Nic] = []
+    agents: List[ConnectionAgent] = []
+    for node in range(spec.nodes):
+        nic = Nic(engine, node, spec.profile, network)
+        nics.append(nic)
+        agents.append(ConnectionAgent(engine, nic))
+
+    oob = OobBoard(engine, nprocs)
+    vi_config = ViConfig(
+        prepost_count=config.prepost_count,
+        send_pool_count=config.send_pool_count,
+        eager_buffer_size=config.eager_threshold,
+    )
+
+    devices: Dict[int, AbstractDevice] = {}
+    facades: Dict[int, MpiProcess] = {}
+    for rank in range(nprocs):
+        node = spec.node_of(rank)
+        registry = MemoryRegistry(
+            costs=spec.profile.registration, label=f"rank{rank}"
+        )
+        provider = ViaProvider(
+            engine, nics[node], agents[node], registry, rank,
+            job_id=0, config=vi_config,
+        )
+        adi = AbstractDevice(
+            engine, provider, config, rank, nprocs,
+            rank_to_node=spec.node_of,
+        )
+        adi.conn = make_connection_manager(config.connection, adi)
+        world = Communicator(range(nprocs), rank, context_base=0)
+        facades[rank] = MpiProcess(adi, world, jitter_seed=spec.seed)
+        facades[rank]._oob = oob
+        devices[rank] = adi
+
+    returns: List[Any] = [None] * nprocs
+    init_times: List[float] = [0.0] * nprocs
+    finish_times: List[float] = [0.0] * nprocs
+    resources_box: List[Optional[ResourceReport]] = [None]
+
+    def rank_main(rank: int):
+        mpi = facades[rank]
+        adi = devices[rank]
+        # ---- MPI_Init: out-of-band bootstrap + connection setup policy
+        yield from oob.barrier("init-enter")
+        adi.init_started_at = engine.now
+        yield from adi.conn.init_phase()
+        adi.init_done_at = engine.now
+        init_times[rank] = adi.init_done_at - adi.init_started_at
+        # ---- user program
+        args = per_rank_args[rank] if per_rank_args is not None else program_args
+        returns[rank] = yield from program(mpi, *args)
+        finish_times[rank] = engine.now
+        # ---- MPI_Finalize: drain outbound work (weak progress means
+        # nobody else will), OOB sync, snapshot resources, tear down
+        yield from adi.drain()
+        yield from oob.progressive_barrier("finalize", adi)
+        if rank == 0:
+            resources_box[0] = collect_resources(devices)
+        yield from oob.progressive_barrier("teardown", adi)
+        yield from adi.conn.finalize_phase()
+
+    procs = [engine.process(rank_main(r)) for r in range(nprocs)]
+    engine.run()
+
+    failures = [(p.name, p.value) for p in procs if p.processed and not p.ok]
+    if failures:
+        name, exc = failures[0]
+        raise JobError(f"rank program {name} failed: {exc!r}") from exc
+    alive = [p for p in procs if not p.processed]
+    if alive:
+        raise JobError(
+            f"job deadlocked: {len(alive)}/{nprocs} ranks never finished "
+            f"(first stuck: {alive[0].name!r} at t={engine.now:.1f}µs)"
+        )
+
+    drops = sum(
+        nic.dropped_no_recv_descriptor + nic.dropped_bad_vi for nic in nics
+    )
+    if drops and not allow_drops:
+        raise JobError(
+            f"{drops} messages dropped at NICs — flow control violated"
+        )
+
+    assert resources_box[0] is not None
+    return JobResult(
+        nprocs=nprocs,
+        config=config,
+        spec=spec,
+        returns=returns,
+        init_times_us=init_times,
+        finished_at_us=max(finish_times),
+        total_time_us=engine.now,
+        resources=resources_box[0],
+        dropped_messages=drops,
+        events_processed=engine.events_processed,
+    )

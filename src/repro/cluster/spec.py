@@ -1,0 +1,62 @@
+"""Cluster description and rank placement."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.via.profiles import CLAN, ViaProfile
+
+
+def rank_to_node(rank: int, nodes: int, ppn: int, placement: str) -> int:
+    """Map an MPI world rank to its node.
+
+    ``cyclic`` (default, a round-robin machinefile): rank % nodes.
+    ``block``: ranks fill a node before moving to the next.
+    """
+    if placement == "cyclic":
+        return rank % nodes
+    if placement == "block":
+        return rank // ppn
+    raise ValueError(f"unknown placement {placement!r}")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """The testbed: N nodes of ``ppn`` CPUs on one VIA fabric.
+
+    The paper's machine is 8 quad-CPU nodes (32 processors) with both
+    cLAN and Myrinet; one spec describes one fabric.  Berkeley VIA could
+    only run one process per node (paper §5.5), which
+    :meth:`validate_nprocs` enforces.
+    """
+
+    nodes: int = 8
+    ppn: int = 4
+    profile: ViaProfile = field(default=CLAN)
+    placement: str = "cyclic"
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1 or self.ppn < 1:
+            raise ValueError("nodes and ppn must be >= 1")
+        if self.placement not in ("cyclic", "block"):
+            raise ValueError(f"unknown placement {self.placement!r}")
+
+    @property
+    def max_procs(self) -> int:
+        return self.nodes * self.ppn
+
+    def validate_nprocs(self, nprocs: int) -> None:
+        if not (1 <= nprocs <= self.max_procs):
+            raise ValueError(
+                f"{nprocs} processes do not fit on {self.nodes} nodes "
+                f"x {self.ppn} CPUs"
+            )
+        if self.profile.name == "berkeley" and nprocs > self.nodes:
+            raise ValueError(
+                "Berkeley VIA supports one process per node (paper §5.5): "
+                f"{nprocs} processes need {nprocs} nodes, have {self.nodes}"
+            )
+
+    def node_of(self, rank: int) -> int:
+        return rank_to_node(rank, self.nodes, self.ppn, self.placement)

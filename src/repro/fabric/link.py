@@ -1,0 +1,101 @@
+"""Links and ports: latency, bandwidth, serialization.
+
+:class:`Port` models one full-duplex NIC port.  Each direction is a
+serial resource: transmissions queue FIFO and occupy the direction for
+``wire_bytes / bandwidth``.  This is what makes incast (e.g. the IS
+benchmark's all-to-all) cost real time in the simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.sim.engine import Engine
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """Timing parameters of one fabric technology.
+
+    Attributes
+    ----------
+    wire_latency_us:
+        One-way propagation + switch transit time for a remote transfer.
+    loopback_latency_us:
+        Same-node NIC loopback time.
+    bandwidth_bytes_per_us:
+        Line rate.  1.25 GB/s full-duplex cLAN ≈ 125 B/µs usable;
+        Myrinet LANai-7 similar order.
+    per_packet_overhead_us:
+        Fixed per-packet cost on each port (framing, DMA setup).
+    """
+
+    wire_latency_us: float
+    loopback_latency_us: float
+    bandwidth_bytes_per_us: float
+    per_packet_overhead_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_bytes_per_us <= 0:
+            raise ValueError("bandwidth must be positive")
+        if min(self.wire_latency_us, self.loopback_latency_us) < 0:
+            raise ValueError("latencies must be non-negative")
+
+    def tx_time(self, wire_bytes: int) -> float:
+        """Serialization time for ``wire_bytes`` on one port direction."""
+        return self.per_packet_overhead_us + wire_bytes / self.bandwidth_bytes_per_us
+
+
+class _Direction:
+    """One serial direction of a port (egress or ingress)."""
+
+    __slots__ = ("busy_until",)
+
+    def __init__(self) -> None:
+        self.busy_until = 0.0
+
+    def occupy(self, now: float, duration: float) -> float:
+        """Reserve the direction; returns the completion time."""
+        start = max(now, self.busy_until)
+        self.busy_until = start + duration
+        return self.busy_until
+
+
+class Port:
+    """A full-duplex NIC port belonging to one node."""
+
+    __slots__ = ("engine", "node_id", "params", "egress", "ingress",
+                 "packets_sent", "packets_received", "bytes_sent", "bytes_received")
+
+    def __init__(self, engine: Engine, node_id: int, params: LinkParams):
+        self.engine = engine
+        self.node_id = node_id
+        self.params = params
+        self.egress = _Direction()
+        self.ingress = _Direction()
+        self.packets_sent = 0
+        self.packets_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+
+    def schedule_tx(self, wire_bytes: int, *, loopback: bool) -> float:
+        """Reserve egress for a packet; returns when the last byte leaves."""
+        tx = self.params.tx_time(wire_bytes)
+        done = self.egress.occupy(self.engine.now, tx)
+        self.packets_sent += 1
+        self.bytes_sent += wire_bytes
+        return done
+
+    def schedule_rx(self, wire_bytes: int, first_byte_arrival: float) -> float:
+        """Reserve ingress starting no earlier than ``first_byte_arrival``;
+        returns when the packet is fully received."""
+        tx = self.params.tx_time(wire_bytes)
+        start = max(first_byte_arrival, self.ingress.busy_until)
+        self.ingress.busy_until = start + tx
+        self.packets_received += 1
+        self.bytes_received += wire_bytes
+        return self.ingress.busy_until
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Port node={self.node_id} sent={self.packets_sent} rcvd={self.packets_received}>"

@@ -1,0 +1,99 @@
+"""The crossbar network: ports wired through a non-blocking switch.
+
+Store-and-forward timing: a packet occupies the sender's egress for its
+serialization time, propagates for ``wire_latency`` (or the loopback
+latency on the same node), then occupies the receiver's ingress for its
+serialization time.  A steady stream therefore pipelines to full line
+rate while a single packet sees ``2·tx + latency`` — the standard
+store-and-forward model.
+
+Delivery is push-based: each node registers one handler (its NIC), and
+the network invokes it at the delivery instant.  The handler runs in
+event-callback context and must not block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.fabric.link import LinkParams, Port
+from repro.fabric.packet import Packet
+from repro.sim.engine import Engine, Event
+
+DeliveryHandler = Callable[[Packet], None]
+
+
+class Network:
+    """All ports of one fabric technology plus the switch between them."""
+
+    def __init__(self, engine: Engine, params: LinkParams, name: str = "fabric"):
+        self.engine = engine
+        self.params = params
+        self.name = name
+        self._ports: Dict[int, Port] = {}
+        self._handlers: Dict[int, DeliveryHandler] = {}
+        self.packets_delivered = 0
+        self.bytes_delivered = 0
+
+    # -- wiring ------------------------------------------------------------
+    def attach(self, node_id: int, handler: DeliveryHandler) -> Port:
+        """Create the port for ``node_id`` and register its delivery handler."""
+        if node_id in self._ports:
+            raise ValueError(f"node {node_id} already attached to {self.name}")
+        port = Port(self.engine, node_id, self.params)
+        self._ports[node_id] = port
+        self._handlers[node_id] = handler
+        return port
+
+    def port(self, node_id: int) -> Port:
+        try:
+            return self._ports[node_id]
+        except KeyError:
+            raise KeyError(f"node {node_id} not attached to {self.name}") from None
+
+    @property
+    def node_count(self) -> int:
+        return len(self._ports)
+
+    # -- transfer ------------------------------------------------------------
+    def send(self, packet: Packet) -> Event:
+        """Inject ``packet``; returns an event that fires at delivery.
+
+        The destination handler is invoked at the same instant, before
+        the event's other callbacks (handler registration order).
+        """
+        src_port = self.port(packet.src)
+        dst_port = self.port(packet.dst)
+        loopback = packet.src == packet.dst
+        packet.injected_at = self.engine.now
+
+        egress_done = src_port.schedule_tx(packet.wire_bytes, loopback=loopback)
+        hop = (
+            self.params.loopback_latency_us if loopback else self.params.wire_latency_us
+        )
+        delivered = dst_port.schedule_rx(packet.wire_bytes, egress_done + hop)
+
+        ev = self.engine.event(name=f"{self.name}.deliver.{packet.kind}")
+
+        def _deliver(_ev: Event) -> None:
+            packet.delivered_at = self.engine.now
+            self.packets_delivered += 1
+            self.bytes_delivered += packet.wire_bytes
+            self._handlers[packet.dst](packet)
+
+        ev.add_callback(_deliver)
+        ev.succeed(packet, delay=delivered - self.engine.now)
+        return ev
+
+    def one_way_time(self, wire_bytes: int, *, loopback: bool = False) -> float:
+        """Unloaded one-way fabric time for a packet of ``wire_bytes``
+        (no port contention) — used by calibration tests."""
+        tx = self.params.tx_time(wire_bytes)
+        hop = self.params.loopback_latency_us if loopback else self.params.wire_latency_us
+        return 2 * tx + hop
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Network {self.name!r} nodes={len(self._ports)} "
+            f"delivered={self.packets_delivered}>"
+        )

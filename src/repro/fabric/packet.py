@@ -1,0 +1,54 @@
+"""Packets: the unit the fabric moves.
+
+A packet is an opaque payload plus enough metadata for the fabric to
+schedule it.  ``wire_bytes`` is what occupies the wire (payload plus the
+upper layer's header estimate); the fabric itself adds nothing.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any
+
+_packet_ids = itertools.count(1)
+
+
+@dataclass
+class Packet:
+    """One fabric transfer.
+
+    Attributes
+    ----------
+    src, dst:
+        Node ids.
+    wire_bytes:
+        Bytes occupying the wire (used for serialization time).
+    payload:
+        Opaque upper-layer object delivered to the destination port's
+        handler.
+    kind:
+        Free-form label for tracing ("eager", "rdma", "conn-req", ...).
+    """
+
+    src: int
+    dst: int
+    wire_bytes: int
+    payload: Any
+    kind: str = "data"
+    packet_id: int = field(default_factory=lambda: next(_packet_ids))
+
+    #: filled in by the fabric at injection / delivery (diagnostics)
+    injected_at: float = -1.0
+    delivered_at: float = -1.0
+
+    def __post_init__(self) -> None:
+        if self.wire_bytes < 0:
+            raise ValueError(f"negative wire_bytes {self.wire_bytes}")
+
+    @property
+    def latency(self) -> float:
+        """End-to-end fabric time, available after delivery."""
+        if self.delivered_at < 0:
+            raise RuntimeError("packet not yet delivered")
+        return self.delivered_at - self.injected_at

@@ -1,0 +1,38 @@
+"""Registered ("pinned") memory substrate.
+
+VIA requires every buffer touched by the NIC to be *registered*: pinned
+in physical memory and known to the NIC's translation table.  Two of the
+paper's headline arguments are memory arguments:
+
+* every VI carries ~120 kB of pre-posted, pinned eager buffers, so a
+  statically fully-connected job wastes pinned memory proportional to
+  ``N`` per process (the "119 GB unused for CG on 1024 nodes" example);
+* rendezvous transfers need the user buffer registered on the fly, which
+  is expensive, so real MVICH keeps a registration cache (``dreg``).
+
+This package provides the accounting and cost model for both:
+:class:`~repro.memory.registry.MemoryRegistry` tracks pinned bytes per
+process, :class:`~repro.memory.registry.RegistrationCache` implements the
+dreg-style LRU cache, and :class:`~repro.memory.buffer_pool.BufferPool`
+manages per-VI pre-posted eager buffers.
+"""
+
+from repro.memory.region import MemoryRegion, RegionState
+from repro.memory.registry import (
+    MemoryRegistry,
+    RegistrationCache,
+    RegistrationError,
+    PAGE_SIZE,
+)
+from repro.memory.buffer_pool import BufferPool, PooledBuffer
+
+__all__ = [
+    "MemoryRegion",
+    "RegionState",
+    "MemoryRegistry",
+    "RegistrationCache",
+    "RegistrationError",
+    "PAGE_SIZE",
+    "BufferPool",
+    "PooledBuffer",
+]

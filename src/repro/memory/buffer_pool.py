@@ -1,0 +1,134 @@
+"""Per-VI pre-posted eager buffer pools.
+
+Every VI in MVICH owns a fixed set of registered buffers: receive-side
+buffers pre-posted to the VI's receive queue (VIA drops messages that
+arrive with no posted descriptor) and send-side bounce buffers that the
+eager protocol copies outgoing payloads into.  The paper's resource
+argument is exactly the product ``buffers_per_vi × eager_size × VIs``,
+e.g. ~120 kB per VI in MVICH.
+
+:class:`BufferPool` allocates all buffers for one VI up front from the
+process's :class:`~repro.memory.registry.MemoryRegistry` and hands them
+out / takes them back; exhaustion signals a flow-control bug upstream,
+so it raises rather than blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.memory.region import MemoryRegion
+from repro.memory.registry import MemoryRegistry
+
+
+class BufferPoolError(RuntimeError):
+    """Pool misuse: double-free, foreign buffer, or exhaustion."""
+
+
+@dataclass
+class PooledBuffer:
+    """One fixed-size slice of a pool's pinned region."""
+
+    pool: "BufferPool"
+    index: int
+    region: MemoryRegion
+    offset: int
+    size: int
+    in_use: bool = False
+
+    def view(self) -> np.ndarray:
+        """Writable view of the buffer's bytes."""
+        return self.region.data[self.offset : self.offset + self.size]
+
+    def fill_from(self, payload: np.ndarray) -> int:
+        """Copy ``payload`` (uint8) into the buffer; returns bytes copied."""
+        payload = np.asarray(payload, dtype=np.uint8).ravel()
+        if payload.nbytes > self.size:
+            raise BufferPoolError(
+                f"payload of {payload.nbytes}B exceeds pooled buffer of {self.size}B"
+            )
+        self.view()[: payload.nbytes] = payload
+        return payload.nbytes
+
+
+class BufferPool:
+    """A fixed population of equal-size pinned buffers for one VI.
+
+    The whole pool is one registration (matching how MVICH registers a
+    VI's buffer arena in one call), so creating a VI pins
+    ``count × size`` bytes in a single operation whose cost the caller
+    charges to the simulated clock.
+    """
+
+    def __init__(
+        self,
+        registry: MemoryRegistry,
+        count: int,
+        size: int,
+        protection_tag: int = 0,
+        label: str = "",
+    ):
+        if count <= 0 or size <= 0:
+            raise ValueError("pool needs positive count and size")
+        self.count = count
+        self.size = size
+        self.label = label
+        self.registry = registry
+        self.region, self.registration_cost_us = registry.register(
+            count * size, protection_tag, owner_label=label or "buffer-pool"
+        )
+        self._buffers: List[PooledBuffer] = [
+            PooledBuffer(self, i, self.region, i * size, size) for i in range(count)
+        ]
+        self._free: List[int] = list(range(count - 1, -1, -1))  # LIFO for locality
+
+    # -- allocation ----------------------------------------------------------
+    def acquire(self) -> PooledBuffer:
+        """Take a free buffer; raises :class:`BufferPoolError` when empty.
+
+        Exhaustion is an invariant violation: the credit-based flow
+        control must never let more messages in flight than buffers.
+        """
+        if not self._free:
+            raise BufferPoolError(
+                f"buffer pool {self.label!r} exhausted ({self.count} buffers); "
+                "flow control violated"
+            )
+        buf = self._buffers[self._free.pop()]
+        buf.in_use = True
+        return buf
+
+    def release(self, buf: PooledBuffer) -> None:
+        """Return a buffer to the pool."""
+        if buf.pool is not self:
+            raise BufferPoolError("buffer returned to the wrong pool")
+        if not buf.in_use:
+            raise BufferPoolError(f"double release of buffer {buf.index}")
+        buf.in_use = False
+        self._free.append(buf.index)
+
+    def destroy(self) -> float:
+        """Deregister the arena (VI teardown); returns the cost."""
+        return self.registry.deregister(self.region)
+
+    # -- inspection ------------------------------------------------------------
+    @property
+    def free_count(self) -> int:
+        return len(self._free)
+
+    @property
+    def in_use_count(self) -> int:
+        return self.count - len(self._free)
+
+    @property
+    def pinned_bytes(self) -> int:
+        return self.count * self.size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<BufferPool {self.label!r} {self.in_use_count}/{self.count} in use, "
+            f"{self.size}B each>"
+        )

@@ -1,0 +1,5 @@
+"""Resource and timing metrics — the numbers the paper tabulates."""
+
+from repro.metrics.resources import ProcessResources, ResourceReport, collect_resources
+
+__all__ = ["ProcessResources", "ResourceReport", "collect_resources"]

@@ -1,0 +1,630 @@
+"""The ADI device: MVICH's MPID layer over the VIA provider.
+
+This module is where the paper's modifications live.  Naming follows
+MVICH (paper §4):
+
+* :meth:`AbstractDevice.isend_contig` — ``MPID_IsendContig`` /
+  ``MPID_IssendContig``: checks the destination channel, creates a VI
+  and issues a peer connection request on first use (on-demand), and
+  stores the send in the channel's pre-posted send FIFO when it cannot
+  go out yet.
+* :meth:`AbstractDevice.irecv` — ``MPID_VIA_Irecv``: same lazy
+  connection behaviour on the receive side; an ``MPI_ANY_SOURCE``
+  receive issues peer connection requests to *every* process in the
+  communicator (paper §3.5).
+* :meth:`AbstractDevice.device_check` — ``MPID_DeviceCheck``: the weak
+  progress engine invoked from every MPI call.  One non-blocking pass:
+  drain both completion queues, progress pending connection requests
+  "as another type of nonblocking communication request" (paper §3.3),
+  and post whatever the channels can now send.
+* :meth:`AbstractDevice.wait_until` — the completion loop implementing
+  *polling* and *spinwait* (paper §5.3).
+
+Protocols: eager (payload ≤ ``eager_threshold``) with credit flow
+control; rendezvous (RTS → CTS carrying a dreg-registered region →
+RDMA write → FIN) beyond.  Self-sends short-circuit above the device,
+as in MPICH.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Set
+
+import numpy as np
+
+from repro.mpi.channel import Channel, ChannelState, PendingSend
+from repro.mpi.config import MpiConfig
+from repro.mpi.constants import ANY_SOURCE, PROC_NULL, MpiError, SendMode
+from repro.mpi.headers import (
+    AckHeader,
+    CreditHeader,
+    CtsHeader,
+    EagerHeader,
+    FinHeader,
+    RtsHeader,
+)
+from repro.mpi.matching import MatchingEngine, UnexpectedMessage
+from repro.mpi.request import Request, RequestKind, RequestState
+from repro.sim.engine import Engine
+from repro.via.constants import DescriptorOp
+from repro.via.provider import ViaProvider
+
+
+def as_bytes(data: Optional[np.ndarray]) -> Optional[np.ndarray]:
+    """Flat uint8 view of a contiguous numpy array (zero copy)."""
+    if data is None:
+        return None
+    arr = np.ascontiguousarray(data)
+    return arr.view(np.uint8).reshape(-1)
+
+
+class AbstractDevice:
+    """One process's MPI device."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        provider: ViaProvider,
+        config: MpiConfig,
+        rank: int,
+        size: int,
+        rank_to_node: Callable[[int], int],
+    ):
+        self.engine = engine
+        self.provider = provider
+        self.config = config
+        self.rank = rank
+        self.size = size
+        self.rank_to_node = rank_to_node
+        self.matching = MatchingEngine()
+        self.channels: Dict[int, Channel] = {}
+        self._vi_to_channel: Dict[int, Channel] = {}
+        #: sends awaiting a CTS, keyed by send request id
+        self._awaiting_cts: Dict[int, Request] = {}
+        #: synchronous eager sends awaiting the match ack
+        self._awaiting_ack: Dict[int, Request] = {}
+        #: rendezvous receives awaiting FIN, keyed by recv request id
+        self._awaiting_fin: Dict[int, Request] = {}
+        #: channels that may have postable work
+        self._dirty: Set[Channel] = set()
+        #: channels holding unreturned credits
+        self._owing: Set[Channel] = set()
+        self._cost_us = 0.0
+        # set by the job runtime
+        self.conn = None  # type: ignore[assignment]
+        # metrics
+        self.init_started_at = -1.0
+        self.init_done_at = -1.0
+        self.device_checks = 0
+        self.blocking_waits = 0
+        self.self_messages = 0
+
+    # ------------------------------------------------------------- helpers --
+    @property
+    def profile(self):
+        return self.provider.profile
+
+    def charge(self, us: float) -> None:
+        """Accumulate host time; flushed as one timeout per yield point."""
+        self._cost_us += us
+
+    def flush_cost(self):
+        """Event charging all accumulated host time (possibly zero)."""
+        cost, self._cost_us = self._cost_us, 0.0
+        return self.engine.timeout(cost, name="host-cost")
+
+    def new_channel(self, dest: int) -> Channel:
+        if dest in self.channels:  # pragma: no cover - manager contract
+            raise MpiError(f"channel to {dest} already exists")
+        # explicit updates must fit the reserved descriptors: at most
+        # data_credits/threshold explicit messages can be un-processed at
+        # the peer, so threshold = ceil(data_credits / control_reserve)
+        threshold = -(-self.config.data_credits // self.config.control_reserve)
+        initial = (self.config.initial_credits if self.config.dynamic_buffers
+                   else self.config.data_credits)
+        ch = Channel(
+            dest,
+            data_credits=initial,
+            explicit_threshold=threshold,
+            rndv_window=self.config.rndv_window,
+        )
+        self.channels[dest] = ch
+        return ch
+
+    def open_channel_vi(self, ch: Channel) -> None:
+        """Create the channel's VI (host cost charged)."""
+        vi, cost = self.provider.create_vi(remote_rank=ch.dest)
+        self.charge(cost)
+        ch.vi = vi
+        ch.opened_at = self.engine.now
+        self._vi_to_channel[vi.vi_id] = ch
+
+    def mark_channel_connected(self, ch: Channel) -> None:
+        ch.state = ChannelState.CONNECTED
+        ch.connected_at = self.engine.now
+        ch.last_used_at = self.engine.now
+        if ch.pending_count:
+            self._dirty.add(ch)
+
+    # --------------------------------------------------- connection cache --
+    def channel_quiescent(self, ch: Channel) -> bool:
+        """True when nothing is in flight on ``ch`` in either direction:
+        safe to tear the connection down."""
+        if ch.state not in (ChannelState.CONNECTED, ChannelState.DRAINING):
+            return False
+        if ch.pending_count or ch.rndv_outstanding:
+            return False
+        dest = ch.dest
+        # a posted receive naming (or wildcarding) this peer still needs
+        # the connection: the peer cannot deliver to a torn-down VI
+        if self.matching.has_posted_for(dest):
+            return False
+        for table in (self._awaiting_cts, self._awaiting_ack,
+                      self._awaiting_fin):
+            if any(req.peer == dest or req.status.source == dest
+                   for req in table.values()):
+                return False
+        return True
+
+    def teardown_channel(self, ch: Channel) -> None:
+        """Destroy the channel's VI (eviction or finalize); the channel
+        object survives and can reconnect later."""
+        if ch.vi is not None:
+            self._vi_to_channel.pop(ch.vi.vi_id, None)
+            self.charge(self.provider.destroy_vi(ch.vi))
+            ch.vi = None
+        ch.state = ChannelState.UNOPENED
+        ch.evictions += 1
+        # a reconnection starts from a fresh VI with a full window
+        ch.credits = self.config.data_credits
+        ch.granted_total = self.config.data_credits
+        ch.credits_to_return = 0
+
+    # ------------------------------------------------------------ send side --
+    def isend_contig(
+        self,
+        dest: int,
+        tag: int,
+        context_id: int,
+        data: Optional[np.ndarray],
+        mode: SendMode = SendMode.STANDARD,
+    ) -> Request:
+        """MPID_IsendContig / MPID_IssendContig / buffered / ready."""
+        payload = as_bytes(data)
+        nbytes = 0 if payload is None else payload.nbytes
+        req = Request(
+            RequestKind.SEND, context_id, dest, tag, payload, nbytes,
+            mode=mode, posted_at=self.engine.now,
+        )
+        if dest == PROC_NULL:
+            req.complete(self.engine.now)
+            return req
+        if not (0 <= dest < self.size):
+            raise MpiError(f"invalid destination rank {dest} (size {self.size})")
+        if dest == self.rank:
+            self._send_to_self(req)
+            return req
+
+        ch = self.conn.channel_for(dest)
+        eager = nbytes <= self.config.eager_threshold
+
+        send_payload = payload
+        if mode is SendMode.BUFFERED:
+            # local semantics: copy out and complete immediately; the
+            # protocol (incl. a later RDMA) works from the snapshot
+            if payload is not None:
+                send_payload = payload.copy()
+                req.buffer = send_payload
+                self.charge(self.profile.copy_us(nbytes))
+            req.complete(self.engine.now)
+
+        if eager:
+            header = EagerHeader(
+                src_rank=self.rank, context_id=context_id, tag=tag,
+                nbytes=nbytes, sync=(mode is SendMode.SYNCHRONOUS),
+                request_id=req.request_id,
+            )
+            ch.stamp_envelope(header)
+            item = PendingSend(header, send_payload, req, enqueued_at=self.engine.now)
+        else:
+            header = RtsHeader(
+                src_rank=self.rank, context_id=context_id, tag=tag,
+                nbytes=nbytes, request_id=req.request_id,
+            )
+            ch.stamp_envelope(header)
+            item = PendingSend(header, send_payload, req, is_rts=True,
+                               enqueued_at=self.engine.now)
+            self._awaiting_cts[req.request_id] = req
+        ch.send_fifo.append(item)
+        self._dirty.add(ch)
+        self._post_pending(ch)
+        return req
+
+    def _send_to_self(self, req: Request) -> None:
+        """MPICH-style self-send short circuit (no VIA involved)."""
+        self.self_messages += 1
+        nbytes = req.nbytes
+        match = self.matching.match_arrival(self.rank, req.comm_context, req.tag)
+        if match is not None:
+            self._copy_into_recv(match, req.buffer, nbytes, self.rank, req.tag)
+            match.complete(self.engine.now)
+        else:
+            staged = None
+            if req.buffer is not None:
+                staged = req.buffer.copy()
+                self.charge(self.profile.copy_us(nbytes))
+            self.matching.add_unexpected(
+                UnexpectedMessage(
+                    src_rank=self.rank, context_id=req.comm_context, tag=req.tag,
+                    nbytes=nbytes, seq=-1, data=staged, is_rts=False,
+                    arrived_at=self.engine.now,
+                )
+            )
+        # a self-send is locally buffered: complete now (synchronous mode
+        # completes too — the message is guaranteed deliverable locally)
+        if not req.done:
+            req.complete(self.engine.now)
+
+    # ------------------------------------------------------------ recv side --
+    def irecv(
+        self,
+        source: int,
+        tag: int,
+        context_id: int,
+        buffer: Optional[np.ndarray],
+    ) -> Request:
+        """MPID_VIA_Irecv."""
+        if buffer is not None and not buffer.flags["C_CONTIGUOUS"]:
+            raise MpiError("receive buffers must be C-contiguous")
+        buf = as_bytes(buffer)
+        req = Request(
+            RequestKind.RECV, context_id, source, tag, buf,
+            0 if buf is None else buf.nbytes, posted_at=self.engine.now,
+        )
+        if source == PROC_NULL:
+            req.status.source = PROC_NULL
+            req.status.tag = -1
+            req.complete(self.engine.now)
+            return req
+        if source != ANY_SOURCE and not (0 <= source < self.size):
+            raise MpiError(f"invalid source rank {source} (size {self.size})")
+
+        # paper §3.5 / §4: the receive side also creates VIs and issues
+        # peer requests; ANY_SOURCE connects to everybody.  Self-receives
+        # short-circuit above the device and need no connection.
+        if source != self.rank:
+            self.conn.on_recv_posted(source)
+
+        msg = self.matching.match_posted_recv(req)
+        if msg is None:
+            self.matching.add_posted(req)
+            return req
+        if msg.is_rts:
+            ch = self.channels[msg.src_rank]
+            self._start_rndv_response(req, ch, msg)
+        else:
+            self._copy_into_recv(req, msg.data, msg.nbytes, msg.src_rank, msg.tag)
+            req.complete(self.engine.now)
+            if msg.sync:
+                self._queue_control(
+                    self.channels[msg.src_rank],
+                    AckHeader(src_rank=self.rank, send_request_id=msg.send_request_id),
+                )
+        return req
+
+    def _copy_into_recv(
+        self, req: Request, data: Optional[np.ndarray], nbytes: int,
+        src: int, tag: int,
+    ) -> None:
+        if nbytes > (0 if req.buffer is None else req.buffer.nbytes):
+            raise MpiError(
+                f"truncation: rank {self.rank} posted {req.nbytes}-byte recv "
+                f"for a {nbytes}-byte message from {src} tag {tag}"
+            )
+        if data is not None and nbytes:
+            req.buffer[:nbytes] = data[:nbytes]
+            self.charge(self.profile.copy_us(nbytes))
+        req.status.source = src
+        req.status.tag = tag
+        req.status.nbytes = nbytes
+
+    # ---------------------------------------------------------- rendezvous --
+    def _start_rndv_response(
+        self, req: Request, ch: Channel, msg: UnexpectedMessage
+    ) -> None:
+        """Matched an RTS: register the user buffer, send the CTS."""
+        if msg.nbytes > (0 if req.buffer is None else req.buffer.nbytes):
+            raise MpiError(
+                f"truncation: rank {self.rank} posted {req.nbytes}-byte recv "
+                f"for a {msg.nbytes}-byte rendezvous from {msg.src_rank}"
+            )
+        region, cost = self.provider.dreg.acquire(
+            req.buffer, protection_tag=ch.vi.protection_tag
+        )
+        self.charge(cost)
+        req.rndv_handle = region.handle
+        req.rndv_region = region
+        req.status.source = msg.src_rank
+        req.status.tag = msg.tag
+        req.status.nbytes = msg.nbytes
+        self._awaiting_fin[req.request_id] = req
+        self._queue_control(
+            ch,
+            CtsHeader(
+                src_rank=self.rank,
+                send_request_id=msg.send_request_id,
+                recv_request_id=req.request_id,
+                region_handle=region.handle,
+                region_offset=0,
+            ),
+        )
+
+    # ------------------------------------------------------------- posting --
+    def _queue_control(self, ch: Channel, header) -> None:
+        ch.control_queue.append(
+            PendingSend(header, None, None, enqueued_at=self.engine.now)
+        )
+        self._dirty.add(ch)
+        self._post_pending(ch)
+
+    def _post_pending(self, ch: Channel) -> None:
+        """Post everything the channel can send right now."""
+        while True:
+            item = ch.next_postable()
+            if item is None:
+                break
+            if not self.provider.can_post_send(ch.vi):
+                break
+            ch.pop_postable(item)
+            header = item.header
+            ch.consume_credit_for(header)
+            header.piggyback_credits = ch.take_piggyback()
+            if header.piggyback_credits:
+                self._owing.discard(ch)
+            if self.config.dynamic_buffers:
+                # demand signal for the receiver's window growth
+                header.queued_behind = len(ch.send_fifo)
+            # an RTS is a bare envelope: the payload travels later by RDMA
+            wire_payload = None if item.is_rts else item.payload
+            desc, cost = self.provider.post_send(
+                ch.vi, header, wire_payload,
+                context=("msg", item.request),
+            )
+            self.charge(cost)
+            ch.messages_sent += 1
+            ch.last_used_at = self.engine.now
+            nbytes = 0 if item.payload is None else item.payload.nbytes
+            ch.bytes_sent += nbytes
+            if item.is_rts:
+                ch.rndv_outstanding += 1
+            req = item.request
+            if req is not None and isinstance(header, EagerHeader):
+                if header.sync:
+                    self._awaiting_ack[req.request_id] = req
+                elif not req.done:
+                    # standard eager: locally buffered once it is on a
+                    # connected VI (paper §4's semantic note)
+                    req.complete(self.engine.now)
+        if ch.pending_count == 0:
+            self._dirty.discard(ch)
+
+    # ------------------------------------------------------------- progress --
+    def device_check(self):
+        """MPID_DeviceCheck: one non-blocking progress pass.
+
+        Generator; yields exactly once to charge accumulated host time.
+        Returns True if any progress was made.
+        """
+        self.device_checks += 1
+        self.charge(self.profile.cq_poll_us)
+        progressed = False
+
+        # 1. send completions: recycle bounce buffers, finish RDMA sends
+        while (desc := self.provider.poll_send_cq()) is not None:
+            progressed = True
+            self.charge(self.profile.cq_poll_us)
+            if desc.op is DescriptorOp.RDMA_WRITE:
+                kind, req = desc.context
+                if kind == "rdma" and req is not None and not req.done:
+                    req.complete(self.engine.now)
+            else:
+                self.provider.release_send_buffer(desc)
+
+        # 2. receive completions: protocol handling + matching
+        while (desc := self.provider.poll_recv_cq()) is not None:
+            progressed = True
+            self._handle_arrival(desc)
+
+        # 3. connection progress (paper §3.3: connection requests are
+        #    progressed like nonblocking communication requests)
+        if self.conn.progress():
+            progressed = True
+
+        # 4. post pass
+        for ch in list(self._dirty):
+            self._post_pending(ch)
+        for ch in list(self._owing):
+            if ch.should_send_explicit_credits():
+                self._owing.discard(ch)
+                ch.explicit_credit_messages += 1
+                self._queue_control(ch, CreditHeader(src_rank=self.rank))
+
+        yield self.flush_cost()
+        return progressed
+
+    def _handle_arrival(self, desc) -> None:
+        self.charge(self.profile.cq_poll_us)
+        header = desc.header
+        ch = self._vi_to_channel.get(desc.vi_id)
+        if ch is None:  # pragma: no cover - wiring invariant
+            raise MpiError(f"arrival on unknown VI {desc.vi_id}")
+        ch.on_header_received(header)
+        ch.last_used_at = self.engine.now
+
+        if (self.config.dynamic_buffers
+                and header.queued_behind > 0
+                and ch.granted_total < self.config.data_credits):
+            # dynamic flow control (paper §6): the sender has a backlog;
+            # pin another buffer chunk and grant the window growth (the
+            # new credits ride the normal piggyback/explicit machinery)
+            chunk = min(self.config.growth_chunk,
+                        self.config.data_credits - ch.granted_total)
+            self.charge(self.provider.grow_recv_pool(ch.vi, chunk))
+            ch.granted_total += chunk
+            ch.credits_to_return += chunk
+            # deliver the grant immediately: the sender may be out of
+            # credits with no reverse traffic to piggyback on, and weak
+            # progress means nobody else will move things along
+            ch.explicit_credit_messages += 1
+            self._queue_control(ch, CreditHeader(src_rank=self.rank))
+            self._owing.discard(ch)
+
+        if isinstance(header, EagerHeader):
+            ch.check_envelope_order(header.seq)
+            ch.bytes_received += header.nbytes
+            req = self.matching.match_arrival(
+                header.src_rank, header.context_id, header.tag
+            )
+            if req is not None:
+                data = desc.buffer.view()[: header.nbytes] if header.nbytes else None
+                self._copy_into_recv(req, data, header.nbytes,
+                                     header.src_rank, header.tag)
+                req.complete(self.engine.now)
+                if header.sync:
+                    self._queue_control(
+                        ch, AckHeader(src_rank=self.rank,
+                                      send_request_id=header.request_id))
+            else:
+                staged = None
+                if header.nbytes:
+                    staged = desc.buffer.view()[: header.nbytes].copy()
+                    self.charge(self.profile.copy_us(header.nbytes))
+                self.matching.add_unexpected(
+                    UnexpectedMessage(
+                        src_rank=header.src_rank, context_id=header.context_id,
+                        tag=header.tag, nbytes=header.nbytes, seq=header.seq,
+                        data=staged, is_rts=False,
+                        send_request_id=header.request_id, sync=header.sync,
+                        arrived_at=self.engine.now,
+                    )
+                )
+        elif isinstance(header, RtsHeader):
+            ch.check_envelope_order(header.seq)
+            req = self.matching.match_arrival(
+                header.src_rank, header.context_id, header.tag
+            )
+            msg = UnexpectedMessage(
+                src_rank=header.src_rank, context_id=header.context_id,
+                tag=header.tag, nbytes=header.nbytes, seq=header.seq,
+                data=None, is_rts=True, send_request_id=header.request_id,
+                arrived_at=self.engine.now,
+            )
+            if req is not None:
+                self._start_rndv_response(req, ch, msg)
+            else:
+                self.matching.add_unexpected(msg)
+        elif isinstance(header, CtsHeader):
+            send_req = self._awaiting_cts.pop(header.send_request_id)
+            region, cost = self.provider.dreg.acquire(
+                send_req.buffer, protection_tag=ch.vi.protection_tag
+            )
+            self.charge(cost)
+            _desc, cost = self.provider.post_rdma_write(
+                ch.vi, send_req.buffer, header.region_handle,
+                header.region_offset, context=("rdma", send_req),
+            )
+            self.charge(cost)
+            ch.rndv_outstanding -= 1
+            ch.bytes_sent += send_req.nbytes
+            self._queue_control(
+                ch,
+                FinHeader(src_rank=self.rank,
+                          recv_request_id=header.recv_request_id,
+                          nbytes=send_req.nbytes),
+            )
+        elif isinstance(header, FinHeader):
+            req = self._awaiting_fin.pop(header.recv_request_id)
+            ch.bytes_received += header.nbytes
+            req.complete(self.engine.now)
+        elif isinstance(header, AckHeader):
+            req = self._awaiting_ack.pop(header.send_request_id)
+            req.complete(self.engine.now)
+        elif isinstance(header, CreditHeader):
+            pass  # piggyback field already accounted by on_header_received
+        else:  # pragma: no cover
+            raise MpiError(f"unknown header {header!r}")
+
+        # recycle the descriptor's buffer and return the credit
+        if not isinstance(header, CreditHeader):
+            self.charge(self.provider.repost_recv(ch.vi, desc.buffer))
+            ch.add_return_credit()
+            self._owing.add(ch)
+        else:
+            self.charge(self.provider.repost_recv(ch.vi, desc.buffer))
+
+    # ---------------------------------------------------------- completion --
+    def wait_until(self, predicate: Callable[[], bool]):
+        """Progress until ``predicate()`` holds.
+
+        *polling*: spin (device checks) and observe completions at event
+        time.  *spinwait*: after ``spincount`` fruitless polls the host
+        blocks; a completion then costs the provider's wakeup penalty
+        (interrupt + reschedule).  On providers without a blocking wait
+        (Berkeley VIA) spinwait degenerates to polling, paper §5.3.
+
+        Instead of literally burning ``spincount`` events per block, the
+        loop parks on the provider's activity signal and applies the
+        wakeup penalty iff the wake-up came after the spin window would
+        have expired — timing-equivalent, event-count-bounded.
+        """
+        spinwait = (
+            self.config.completion == "spinwait" and self.profile.has_blocking_wait
+        )
+        spin_window = self.config.spincount * self.profile.spin_iteration_us
+        idle_since: Optional[float] = None
+        while True:
+            progressed = yield from self.device_check()
+            if predicate():
+                return
+            if progressed:
+                idle_since = None
+                continue
+            if idle_since is None:
+                idle_since = self.engine.now
+            yield self.provider.activity.wait()
+            if spinwait and self.engine.now - idle_since > spin_window:
+                # we had fallen into the kernel's blocking wait
+                self.blocking_waits += 1
+                yield self.engine.timeout(self.profile.wakeup_us, name="wakeup")
+
+    def has_pending_outbound(self) -> bool:
+        """True while locally-completed operations still need the device
+        (queued sends, unanswered RTS, unacked synchronous sends).
+
+        ``MPI_Finalize`` must progress until this clears — e.g. a
+        buffered send completes locally long before its bytes can leave
+        (the connection may not even exist yet under on-demand).
+        """
+        if self._awaiting_cts or self._awaiting_ack:
+            return True
+        return any(ch.pending_count for ch in self.channels.values())
+
+    def drain(self):
+        """Progress until no outbound work remains (finalize step)."""
+        if self.has_pending_outbound():
+            yield from self.wait_until(lambda: not self.has_pending_outbound())
+
+    def wait(self, request: Request):
+        """Block until ``request`` completes (generator)."""
+        if not request.done:
+            yield from self.wait_until(lambda: request.done)
+        if request.error is not None:
+            raise request.error
+        return request.status
+
+    def wait_all(self, requests: List[Request]):
+        yield from self.wait_until(lambda: all(r.done for r in requests))
+        for r in requests:
+            if r.error is not None:
+                raise r.error
+        return [r.status for r in requests]

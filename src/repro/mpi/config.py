@@ -1,0 +1,115 @@
+"""Library configuration: the knobs the paper's experiments turn."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: valid connection-manager names
+CONNECTION_MODES = ("ondemand", "static-p2p", "static-cs")
+#: valid completion styles
+COMPLETION_MODES = ("polling", "spinwait")
+
+
+@dataclass(frozen=True)
+class MpiConfig:
+    """Per-job MPI library configuration.
+
+    Attributes
+    ----------
+    connection:
+        ``"ondemand"`` — VIs created and peer-connected on first use
+        (the paper's mechanism); ``"static-p2p"`` — fully connected in
+        ``MPI_Init`` with peer-to-peer setup; ``"static-cs"`` — fully
+        connected with the serialized client/server setup.
+    completion:
+        ``"polling"`` — spin forever; ``"spinwait"`` — spin ``spincount``
+        polls then block (cLAN's interrupt wait + wakeup penalty).
+        On Berkeley VIA wait *is* polling, so spinwait silently behaves
+        as polling there (paper §5.3).
+    eager_threshold:
+        Messages with payload ≤ this go eager; larger go rendezvous.
+        MVICH default 5000 bytes (the Figure 3 bandwidth jump).
+    spincount:
+        Polls before blocking in spinwait mode (MVICH default 100).
+    rndv_window:
+        Max outstanding rendezvous RTS per destination channel.
+    data_credits:
+        Eager-flow-control credits per channel direction (equals the
+        data portion of the pre-posted descriptors).
+    control_reserve:
+        Extra pre-posted descriptors reserved for credit-bypassing
+        control messages (explicit credit updates).
+    """
+
+    connection: str = "ondemand"
+    completion: str = "polling"
+    eager_threshold: int = 5000
+    spincount: int = 100
+    rndv_window: int = 4
+    data_credits: int = 15
+    control_reserve: int = 3
+    send_pool_count: int = 6
+    #: the paper's §6 future-work extension: start each VI with only
+    #: ``initial_credits`` pre-posted buffers and grow in ``growth_chunk``
+    #: steps (up to ``data_credits``) when the sender signals queued
+    #: demand — trading a little first-burst latency for much less
+    #: pinned memory on lightly used connections
+    dynamic_buffers: bool = False
+    initial_credits: int = 4
+    growth_chunk: int = 8
+    #: extension for the paper's scalability point 2 (hard NIC limits on
+    #: VIs): with on-demand management, cap live VIs per process and
+    #: evict the least-recently-used *quiescent* connection when a new
+    #: one is needed.  None = unlimited (the paper's behaviour).
+    vi_cache_limit: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.connection not in CONNECTION_MODES:
+            raise ValueError(
+                f"connection must be one of {CONNECTION_MODES}, got {self.connection!r}"
+            )
+        if self.completion not in COMPLETION_MODES:
+            raise ValueError(
+                f"completion must be one of {COMPLETION_MODES}, got {self.completion!r}"
+            )
+        if self.eager_threshold < 0 or self.spincount < 1:
+            raise ValueError("eager_threshold must be >= 0 and spincount >= 1")
+        if min(self.data_credits, self.control_reserve, self.rndv_window,
+               self.send_pool_count) < 1:
+            raise ValueError("credit/window parameters must be >= 1")
+        if self.dynamic_buffers:
+            if not (1 <= self.initial_credits <= self.data_credits):
+                raise ValueError(
+                    "initial_credits must be in [1, data_credits]")
+            if self.growth_chunk < 1:
+                raise ValueError("growth_chunk must be >= 1")
+        if self.vi_cache_limit is not None:
+            if self.vi_cache_limit < 1:
+                raise ValueError("vi_cache_limit must be >= 1")
+            if self.connection != "ondemand":
+                raise ValueError(
+                    "the connection cache needs on-demand management")
+            if self.dynamic_buffers:
+                raise ValueError(
+                    "vi_cache_limit and dynamic_buffers cannot combine: "
+                    "quiescence needs a known full credit level")
+
+    @property
+    def growth_events_max(self) -> int:
+        """Most window-growth grants a channel can ever send."""
+        if not self.dynamic_buffers:
+            return 0
+        return -(-(self.data_credits - self.initial_credits)
+                 // self.growth_chunk)
+
+    @property
+    def prepost_count(self) -> int:
+        """Receive descriptors pre-posted per VI at creation.
+
+        Dynamic mode reserves extra descriptors for the peer's
+        growth-grant messages (explicit, credit-bypassing) on top of the
+        usual control reserve."""
+        if self.dynamic_buffers:
+            return (self.initial_credits + self.control_reserve
+                    + self.growth_events_max)
+        return self.data_credits + self.control_reserve

@@ -1,0 +1,40 @@
+"""Connection managers: the paper's subject.
+
+Three policies plug into the ADI:
+
+* :class:`~repro.mpi.conn.ondemand.OnDemandConnectionManager` — the
+  paper's contribution: VIs and peer-to-peer connections created on a
+  strict per-use basis (first send or receive naming a peer;
+  ``MPI_ANY_SOURCE`` connects to everybody).
+* :class:`~repro.mpi.conn.static_p2p.StaticPeerToPeerConnectionManager`
+  — the original MVICH behaviour restated over the peer-to-peer model:
+  N-1 VIs created and connected inside ``MPI_Init``.
+* :class:`~repro.mpi.conn.static_cs.StaticClientServerConnectionManager`
+  — the serialized client/server static setup the paper measures in
+  Figure 8(a).
+"""
+
+from repro.mpi.conn.base import BaseConnectionManager
+from repro.mpi.conn.ondemand import OnDemandConnectionManager
+from repro.mpi.conn.static_p2p import StaticPeerToPeerConnectionManager
+from repro.mpi.conn.static_cs import StaticClientServerConnectionManager
+
+
+def make_connection_manager(name: str, adi) -> BaseConnectionManager:
+    """Factory keyed by :class:`~repro.mpi.config.MpiConfig` names."""
+    if name == "ondemand":
+        return OnDemandConnectionManager(adi)
+    if name == "static-p2p":
+        return StaticPeerToPeerConnectionManager(adi)
+    if name == "static-cs":
+        return StaticClientServerConnectionManager(adi)
+    raise ValueError(f"unknown connection manager {name!r}")
+
+
+__all__ = [
+    "BaseConnectionManager",
+    "OnDemandConnectionManager",
+    "StaticPeerToPeerConnectionManager",
+    "StaticClientServerConnectionManager",
+    "make_connection_manager",
+]

@@ -1,0 +1,86 @@
+"""Connection-manager interface."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.mpi.channel import Channel, ChannelState
+from repro.mpi.constants import ANY_SOURCE
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.mpi.adi import AbstractDevice
+
+
+class BaseConnectionManager:
+    """Policy object deciding when VIs are created and connected.
+
+    Lifecycle: the job runtime calls :meth:`init_phase` inside
+    ``MPI_Init``; the ADI calls :meth:`channel_for` on every send,
+    :meth:`on_recv_posted` on every receive, and :meth:`progress` from
+    every ``MPID_DeviceCheck``.
+    """
+
+    name = "base"
+
+    def __init__(self, adi: "AbstractDevice"):
+        self.adi = adi
+        #: channels whose peer-to-peer request is in flight
+        self._connecting: List[Channel] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def init_phase(self):
+        """Generator run during MPI_Init (may block on progress)."""
+        yield self.adi.flush_cost()
+
+    def finalize_phase(self):
+        """Generator run during MPI_Finalize: tear the VIs down."""
+        adi = self.adi
+        for ch in adi.channels.values():
+            if ch.vi is not None:
+                adi.charge(adi.provider.destroy_vi(ch.vi))
+        adi.charge(adi.provider.dreg.flush())
+        yield adi.flush_cost()
+
+    # -- hooks ----------------------------------------------------------------
+    def channel_for(self, dest: int) -> Channel:
+        """Channel used to send to ``dest`` (create/connect per policy)."""
+        raise NotImplementedError
+
+    def on_recv_posted(self, source: int) -> None:
+        """A receive named ``source`` (or ANY_SOURCE) was posted."""
+        raise NotImplementedError
+
+    def progress(self) -> bool:
+        """Check in-flight connection requests (non-blocking).
+
+        Default: poll VipConnectPeerDone on all connecting channels.
+        """
+        progressed = False
+        if not self._connecting:
+            return False
+        still: List[Channel] = []
+        for ch in self._connecting:
+            if self.adi.provider.connect_peer_done(ch.vi):
+                self.adi.mark_channel_connected(ch)
+                progressed = True
+            else:
+                still.append(ch)
+        self._connecting = still
+        return progressed
+
+    # -- shared helpers -------------------------------------------------------------
+    def _open_and_request(self, dest: int) -> Channel:
+        """Create channel + VI and issue the peer-to-peer request."""
+        adi = self.adi
+        ch = adi.new_channel(dest)
+        adi.open_channel_vi(ch)
+        cost = adi.provider.connect_peer_request(
+            ch.vi, adi.rank_to_node(dest), dest
+        )
+        adi.charge(cost)
+        ch.state = ChannelState.CONNECTING
+        self._connecting.append(ch)
+        return ch
+
+    def _all_peers(self):
+        return (r for r in range(self.adi.size) if r != self.adi.rank)

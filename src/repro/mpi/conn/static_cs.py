@@ -1,0 +1,76 @@
+"""Static connection management over the client/server model.
+
+Reproduces the *serialized* MVICH client/server setup the paper measures
+in Figure 8(a): each process first connects as a **client** to every
+lower rank in ascending order (blocking on each grant), then acts as a
+**server** for every higher rank in ascending order, insisting on that
+order "regardless of the arrival order of connection requests from peer
+processes" (paper §5.6).  The resulting dependency chains make the
+fully-connected setup far slower than the peer-to-peer variant.
+"""
+
+from __future__ import annotations
+
+from repro.mpi.channel import Channel, ChannelState
+from repro.mpi.conn.base import BaseConnectionManager
+from repro.mpi.constants import ANY_SOURCE, MpiError
+
+
+class StaticClientServerConnectionManager(BaseConnectionManager):
+    name = "static-cs"
+
+    def init_phase(self):
+        adi = self.adi
+        provider = adi.provider
+        if not adi.profile.supports_client_server:
+            raise MpiError(
+                f"provider {adi.profile.name!r} only supports the "
+                "peer-to-peer connection model"
+            )
+        provider.listen()
+
+        # client phase: connect to every lower rank, in order
+        for server in range(adi.rank):
+            ch = adi.new_channel(server)
+            adi.open_channel_vi(ch)
+            adi.charge(
+                provider.connect_client_request(
+                    ch.vi, adi.rank_to_node(server), server
+                )
+            )
+            ch.state = ChannelState.CONNECTING
+            yield from adi.wait_until(lambda v=ch.vi: v.is_connected)
+            adi.mark_channel_connected(ch)
+
+        # server phase: accept every higher rank, in rank order
+        for client in range(adi.rank + 1, adi.size):
+            req = None
+
+            def got_request(c=client):
+                nonlocal req
+                if req is None:
+                    found, cost = provider.poll_connect_wait(from_rank=c)
+                    adi.charge(cost)
+                    req = found
+                return req is not None
+
+            yield from adi.wait_until(got_request)
+            ch = adi.new_channel(client)
+            adi.open_channel_vi(ch)
+            adi.charge(provider.connect_accept(req, ch.vi))
+            ch.state = ChannelState.CONNECTING
+            yield from adi.wait_until(lambda v=ch.vi: v.is_connected)
+            adi.mark_channel_connected(ch)
+
+    def channel_for(self, dest: int) -> Channel:
+        try:
+            return self.adi.channels[dest]
+        except KeyError:
+            raise MpiError(
+                f"static connection manager has no channel to {dest}; "
+                "was MPI_Init run?"
+            ) from None
+
+    def on_recv_posted(self, source: int) -> None:
+        if source != ANY_SOURCE:
+            self.channel_for(source)

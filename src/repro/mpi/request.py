@@ -1,0 +1,105 @@
+"""Nonblocking communication requests.
+
+One :class:`Request` per ``MPI_Isend``/``MPI_Irecv``-family call.  The
+ADI layer drives the state machine; user code only sees
+``mpi.wait``/``mpi.test``.
+
+Send completion rules (paper §3.6 and §4):
+
+* *standard eager*: complete once the payload is buffered and posted to
+  a **connected** VI — so under on-demand management completion
+  additionally waits for the connection, the one documented semantic
+  difference;
+* *buffered*: complete locally at post time (payload copied);
+* *synchronous eager*: complete on the receiver's match ack;
+* *rendezvous* (any mode): complete after the RDMA write finishes and
+  FIN is posted, which implies a matching receive existed.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from typing import Any, Optional
+
+import numpy as np
+
+from repro.mpi.constants import SendMode
+from repro.mpi.status import Status
+
+_request_ids = itertools.count(1)
+
+
+class RequestKind(enum.Enum):
+    SEND = "send"
+    RECV = "recv"
+
+
+class RequestState(enum.Enum):
+    #: created; for sends possibly waiting for connection/credits
+    PENDING = "pending"
+    #: protocol in flight (e.g. RTS sent, waiting for CTS; eager posted,
+    #: waiting for ack in synchronous mode)
+    ACTIVE = "active"
+    COMPLETE = "complete"
+
+
+class Request:
+    """One nonblocking operation."""
+
+    __slots__ = (
+        "request_id", "kind", "state", "comm_context", "peer", "tag",
+        "mode", "buffer", "nbytes", "status", "match_seq",
+        "rndv_handle", "rndv_region", "temp_copy", "error",
+        "completed_at", "posted_at",
+    )
+
+    def __init__(
+        self,
+        kind: RequestKind,
+        comm_context: int,
+        peer: int,
+        tag: int,
+        buffer: Optional[np.ndarray],
+        nbytes: int,
+        mode: SendMode = SendMode.STANDARD,
+        posted_at: float = 0.0,
+    ):
+        self.request_id = next(_request_ids)
+        self.kind = kind
+        self.state = RequestState.PENDING
+        self.comm_context = comm_context
+        #: destination rank for sends, (wildcardable) source for receives
+        self.peer = peer
+        self.tag = tag
+        self.mode = mode
+        #: user buffer as a flat uint8 view (None for zero-byte ops)
+        self.buffer = buffer
+        self.nbytes = nbytes
+        self.status = Status()
+        #: channel sequence number stamped at matching (order assertions)
+        self.match_seq: Optional[int] = None
+        #: rendezvous receive: registered region handle sent in the CTS
+        self.rndv_handle: Optional[int] = None
+        self.rndv_region: Any = None
+        #: unexpected-eager staging copy awaiting this request (recv side)
+        self.temp_copy: Optional[np.ndarray] = None
+        self.error: Optional[BaseException] = None
+        self.completed_at: float = -1.0
+        self.posted_at = posted_at
+
+    @property
+    def done(self) -> bool:
+        return self.state is RequestState.COMPLETE
+
+    def complete(self, now: float) -> None:
+        if self.state is RequestState.COMPLETE:
+            raise RuntimeError(f"request {self.request_id} completed twice")
+        self.state = RequestState.COMPLETE
+        self.completed_at = now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Request #{self.request_id} {self.kind.value} peer={self.peer} "
+            f"tag={self.tag} {self.state.value}>"
+        )

@@ -1,0 +1,264 @@
+"""Event heap and simulation clock.
+
+The engine is a classic calendar-queue DES core: a binary heap of
+``(time, seq, event)`` triples.  :class:`Event` is a one-shot completion
+token; processes (see :mod:`repro.sim.process`) subscribe to events by
+yielding them.
+
+Times are floats in **microseconds**.  The engine never invents time:
+every advance comes from an explicit :meth:`Engine.schedule` /
+:meth:`Engine.timeout` delay, so all latency modelling lives in the
+higher layers where it can be documented and calibrated.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for structural errors in the simulation (double-trigger,
+    running a finished engine, deadlock detection, ...)."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that is interrupted while waiting.
+
+    The interrupting party supplies ``cause`` which the interrupted
+    process can inspect.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    An event starts *pending*, becomes *triggered* when scheduled on the
+    engine's heap, and *processed* once its callbacks have run.  Each
+    callback receives the event itself; the value passed to
+    :meth:`succeed` (or the exception passed to :meth:`fail`) is
+    available as :attr:`value`.
+
+    Events are single-use: triggering twice raises
+    :class:`SimulationError`.
+    """
+
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+
+    PENDING = object()
+
+    def __init__(self, engine: "Engine", name: str = ""):
+        self.engine = engine
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = Event.PENDING
+        self._ok: Optional[bool] = None
+        self._triggered = False
+        self._processed = False
+        self.name = name
+
+    # -- state inspection ------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has been scheduled for processing."""
+        return self._triggered
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return bool(self._ok)
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        if self._value is Event.PENDING:
+            raise SimulationError(f"value of {self!r} is not yet available")
+        return self._value
+
+    # -- triggering ------------------------------------------------------
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful and schedule callback processing
+        ``delay`` microseconds from now."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        self._triggered = True
+        self._ok = True
+        self._value = value
+        self.engine._push(delay, self)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed; waiting processes receive ``exception``."""
+        if self._triggered:
+            raise SimulationError(f"{self!r} already triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() needs an exception instance")
+        self._triggered = True
+        self._ok = False
+        self._value = exception
+        self.engine._push(delay, self)
+        return self
+
+    def add_callback(self, fn: Callable[["Event"], None]) -> None:
+        """Register ``fn`` to run when the event is processed.
+
+        If the event has already been processed the callback runs
+        immediately (same simulated instant)."""
+        if self._processed:
+            fn(self)
+        else:
+            self.callbacks.append(fn)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = (
+            "processed" if self._processed
+            else "triggered" if self._triggered
+            else "pending"
+        )
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Event{label} {state} at t={self.engine.now:.3f}>"
+
+
+class Engine:
+    """The simulation clock and event heap.
+
+    Typical use::
+
+        eng = Engine()
+        eng.process(my_generator_fn(eng))
+        eng.run()
+
+    :meth:`run` executes until the heap drains or ``until`` is reached.
+    """
+
+    def __init__(self, *, trace: Optional["TraceHook"] = None):
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq = 0
+        self._running = False
+        self.trace = trace
+        #: number of events processed so far (diagnostics / determinism checks)
+        self.events_processed = 0
+
+    # -- event construction ----------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh pending :class:`Event`."""
+        return Event(self, name)
+
+    def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
+        """An event that succeeds ``delay`` microseconds from now."""
+        if delay < 0:
+            raise ValueError(f"negative timeout {delay}")
+        ev = Event(self, name or "timeout")
+        ev.succeed(value, delay=delay)
+        return ev
+
+    def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
+        """Run ``fn()`` after ``delay`` microseconds; returns the event."""
+        ev = self.timeout(delay, name=getattr(fn, "__name__", "scheduled"))
+        ev.add_callback(lambda _ev: fn())
+        return ev
+
+    def process(self, generator) -> "Process":
+        """Spawn a generator as a simulation process (convenience)."""
+        from repro.sim.process import Process
+
+        return Process(self, generator)
+
+    # -- heap internals ----------------------------------------------------
+    def _push(self, delay: float, event: Event) -> None:
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- execution ---------------------------------------------------------
+    def peek(self) -> float:
+        """Time of the next event, or ``inf`` if the heap is empty."""
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def step(self) -> None:
+        """Process exactly one event."""
+        if not self._heap:
+            raise SimulationError("step() on an empty event heap")
+        t, _seq, ev = heapq.heappop(self._heap)
+        if t < self.now:  # pragma: no cover - guarded by _push
+            raise SimulationError("time went backwards")
+        self.now = t
+        ev._processed = True
+        self.events_processed += 1
+        if self.trace is not None:
+            self.trace.on_event(self.now, ev)
+        callbacks, ev.callbacks = ev.callbacks, []
+        for fn in callbacks:
+            fn(ev)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the heap drains (or the clock passes ``until``).
+
+        Returns the final simulated time."""
+        if self._running:
+            raise SimulationError("engine is already running")
+        self._running = True
+        try:
+            while self._heap:
+                if until is not None and self.peek() > until:
+                    self.now = until
+                    break
+                self.step()
+        finally:
+            self._running = False
+        return self.now
+
+    def run_until_event(self, event: Event) -> Any:
+        """Run until ``event`` is processed; return its value.
+
+        Raises the event's exception if it failed, or
+        :class:`SimulationError` if the heap drains first (deadlock)."""
+        while not event.processed:
+            if not self._heap:
+                raise SimulationError(
+                    f"event heap drained before {event!r} fired (deadlock?)"
+                )
+            self.step()
+        if not event.ok:
+            raise event.value
+        return event.value
+
+
+def any_of(engine: "Engine", events: list) -> "Event":
+    """An event that succeeds when the *first* of ``events`` fires.
+
+    Late firings of the other events are absorbed (their callbacks find
+    the combined event already triggered).  The value is the value of
+    the first event to fire.
+    """
+    combo = engine.event(name="any-of")
+
+    def arm(ev: Event) -> None:
+        def fire(e: Event) -> None:
+            if not combo.triggered:
+                if e.ok:
+                    combo.succeed(e.value)
+                else:
+                    combo.fail(e.value)
+        ev.add_callback(fire)
+
+    for ev in events:
+        arm(ev)
+    return combo
+
+
+class TraceHook:
+    """Interface for engine-level tracing (see :mod:`repro.sim.trace`)."""
+
+    def on_event(self, now: float, event: Event) -> None:  # pragma: no cover
+        raise NotImplementedError

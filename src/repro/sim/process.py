@@ -1,0 +1,123 @@
+"""Generator-coroutine processes.
+
+A *process* wraps a Python generator.  Each ``yield`` hands the engine an
+:class:`~repro.sim.engine.Event`; the process resumes when that event is
+processed, receiving the event's value (``gen.send(value)``) or its
+exception (``gen.throw(exc)``).
+
+A process is itself an :class:`Event` that succeeds with the generator's
+return value, so processes can wait on each other::
+
+    def child(eng):
+        yield eng.timeout(5.0)
+        return 42
+
+    def parent(eng):
+        value = yield eng.process(child(eng))
+        assert value == 42
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional
+
+from repro.sim.engine import Engine, Event, Interrupt, SimulationError
+
+
+class Process(Event):
+    """A running generator on the simulation engine.
+
+    The process starts at the current simulated instant (its first resume
+    is scheduled with zero delay, preserving event ordering by sequence
+    number).
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, engine: Engine, generator: Generator, name: str = ""):
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"Process needs a generator, got {type(generator).__name__}; "
+                "did you call the function instead of passing its generator?"
+            )
+        super().__init__(engine, name or getattr(generator, "__name__", "process"))
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        boot = engine.event(name=f"{self.name}.start")
+        boot.add_callback(self._resume)
+        boot.succeed()
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its wait point.
+
+        Interrupting a finished process is an error; interrupting a
+        process that is not waiting (i.e. currently scheduled to run) is
+        also rejected to keep semantics simple and deterministic.
+        """
+        if self.triggered:
+            raise SimulationError(f"cannot interrupt finished process {self.name!r}")
+        target = self._waiting_on
+        if target is None:
+            raise SimulationError(
+                f"process {self.name!r} is not waiting on anything; "
+                "cannot interrupt"
+            )
+        # Detach from the event we were waiting on and schedule the throw.
+        try:
+            target.callbacks.remove(self._resume)
+        except ValueError:  # already fired, resume is in flight
+            pass
+        self._waiting_on = None
+        kick = self.engine.event(name=f"{self.name}.interrupt")
+        kick.add_callback(lambda ev: self._advance(throw=Interrupt(cause)))
+        kick.succeed()
+
+    # -- stepping ----------------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        if event.ok:
+            self._advance(send=event.value)
+        else:
+            self._advance(throw=event.value)
+
+    def _advance(self, send: Any = None, throw: Optional[BaseException] = None) -> None:
+        try:
+            if throw is not None:
+                target = self._generator.throw(throw)
+            else:
+                target = self._generator.send(send)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except Interrupt:
+            # An unhandled Interrupt terminates the process quietly: the
+            # interrupter asked it to stop and it did not object.
+            self.succeed(None)
+            return
+        except BaseException as exc:
+            self.fail(exc)
+            return
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes must yield Event objects"
+                )
+            )
+            return
+        if target.engine is not self.engine:
+            self._generator.close()
+            self.fail(SimulationError("yielded event belongs to a different engine"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.triggered else "alive"
+        return f"<Process {self.name!r} {state}>"

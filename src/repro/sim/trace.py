@@ -1,0 +1,68 @@
+"""Event tracing.
+
+A :class:`TraceRecorder` attached to an :class:`~repro.sim.engine.Engine`
+records ``(time, event-name)`` pairs.  Its primary job in this project is
+the determinism test suite: two runs of the same workload with the same
+seed must produce identical traces.  It is also handy when debugging
+protocol interleavings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.sim.engine import Event, TraceHook
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One processed event."""
+
+    time: float
+    name: str
+    ok: bool
+
+    def __str__(self) -> str:
+        flag = "" if self.ok else " FAILED"
+        return f"{self.time:14.3f}  {self.name}{flag}"
+
+
+class TraceRecorder(TraceHook):
+    """Collects processed events, optionally bounded and filtered.
+
+    Parameters
+    ----------
+    limit:
+        Keep at most this many records (oldest dropped); ``None`` keeps all.
+    name_filter:
+        If given, only events whose name contains this substring are kept.
+    """
+
+    def __init__(self, limit: Optional[int] = None, name_filter: Optional[str] = None):
+        self.records: List[TraceRecord] = []
+        self.limit = limit
+        self.name_filter = name_filter
+        self.dropped = 0
+
+    def on_event(self, now: float, event: Event) -> None:
+        if self.name_filter is not None and self.name_filter not in event.name:
+            return
+        self.records.append(TraceRecord(now, event.name, bool(event.ok)))
+        if self.limit is not None and len(self.records) > self.limit:
+            del self.records[0]
+            self.dropped += 1
+
+    def fingerprint(self) -> int:
+        """A stable hash of the full trace (for determinism assertions)."""
+        return hash(tuple((r.time, r.name, r.ok) for r in self.records))
+
+    def dump(self) -> str:
+        """Human-readable rendering of the trace."""
+        lines = [str(r) for r in self.records]
+        if self.dropped:
+            lines.insert(0, f"... {self.dropped} earlier records dropped ...")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self.records)

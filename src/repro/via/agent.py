@@ -1,0 +1,328 @@
+"""Per-node kernel connection agents.
+
+VIA connection management involves the operating system: the host makes
+a syscall, and a kernel agent on each node runs the connection dialog
+over the wire.  The agent is a *serial* resource — requests queue and
+are serviced one at a time — which is exactly why a static fully
+connected setup storms the agents and `MPI_Init` takes so long
+(paper Figure 8).
+
+Two models are implemented (paper §3.2):
+
+* **peer-to-peer** (VIA 1.0): both sides call
+  ``VipConnectPeerRequest`` with the same discriminator; the connection
+  establishes once both requests exist, regardless of order.  Symmetric
+  and race-free — the model the on-demand mechanism uses.
+* **client/server** (VIA 0.95): the server listens, polls for incoming
+  requests (``VipConnectWait``) and accepts each; the client blocks
+  until granted.  Asymmetric; MVICH's static setup serializes on it.
+
+The agent never touches MPI state: it flips VI states and fires the
+owning provider's activity signal; the MPI progress engine discovers
+establishment by polling ``VipConnectPeerDone`` (i.e. ``vi.is_connected``).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple
+
+from repro.fabric.packet import Packet
+from repro.sim.engine import Engine
+from repro.via.constants import ViState, ViaConnectionError
+from repro.via.messages import (
+    ConnGrant,
+    ConnRequest,
+    CsConnGrant,
+    CsConnRequest,
+    DisconnectReply,
+    DisconnectRequest,
+    Discriminator,
+)
+from repro.via.nic import Nic
+from repro.via.vi import VI
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.via.provider import ViaProvider
+
+
+class ConnectionAgent:
+    """The kernel-side connection manager of one node."""
+
+    def __init__(self, engine: Engine, nic: Nic):
+        self.engine = engine
+        self.nic = nic
+        self.profile = nic.profile
+        self.costs = nic.profile.connection
+        nic.agent = self
+
+        # serial service engine
+        self._work: Deque[Callable[[], None]] = deque()
+        self._scheduled = False
+        self._busy_until = 0.0
+
+        # peer-to-peer state, keyed by (discriminator, local rank) because
+        # one node agent serves every process on the node (both endpoints
+        # of a same-node pair land here)
+        self._pending_outgoing: Dict[tuple, VI] = {}
+        self._pending_incoming: Dict[tuple, ConnRequest] = {}
+        #: keys with a local request issued but not yet established
+        self._requested: set[tuple] = set()
+
+        # client/server state: queued requests per listening server rank
+        self._cs_queues: Dict[int, Deque[CsConnRequest]] = {}
+        self._cs_clients: Dict[Discriminator, VI] = {}
+
+        #: every provider on this node (for CS-request wake-ups that can
+        #: arrive before the server created any VI)
+        self._local_providers: list = []
+
+        # counters
+        self.connections_established = 0
+        self.requests_processed = 0
+
+    def register_local(self, provider) -> None:
+        """Called by each ViaProvider on this node at construction."""
+        self._local_providers.append(provider)
+
+    # -- serial service machinery ------------------------------------------------
+    def _enqueue(self, job: Callable[[], None]) -> None:
+        self._work.append(job)
+        self._kick()
+
+    def _kick(self) -> None:
+        if self._scheduled or not self._work:
+            return
+        self._scheduled = True
+        start = max(self.engine.now, self._busy_until)
+        done = start + self.costs.agent_service_us
+        self._busy_until = done
+        self.engine.schedule(done - self.engine.now, self._run_one)
+
+    def _run_one(self) -> None:
+        self._scheduled = False
+        job = self._work.popleft()
+        self.requests_processed += 1
+        job()
+        self._kick()
+
+    def _send_control(self, dst_node: int, message) -> None:
+        self.nic.network.send(
+            Packet(
+                src=self.nic.node_id,
+                dst=dst_node,
+                wire_bytes=self.costs.control_packet_bytes,
+                payload=message,
+                kind="conn",
+            )
+        )
+
+    # -- peer-to-peer model ----------------------------------------------------
+    def peer_request(
+        self, vi: VI, remote_node: int, discriminator: Discriminator,
+        src_rank: int, dst_rank: int,
+    ) -> None:
+        """Host called VipConnectPeerRequest (syscall cost already charged)."""
+        key = (discriminator, src_rank)
+        if key in self._requested:
+            raise ViaConnectionError(
+                f"duplicate peer request for discriminator {discriminator} "
+                f"from rank {src_rank}"
+            )
+        self._requested.add(key)
+        vi.mark_connect_pending()
+
+        def job() -> None:
+            incoming = self._pending_incoming.pop(key, None)
+            if incoming is not None:
+                # The remote side asked first: match immediately.
+                self._establish(vi, incoming.src_node, incoming.src_vi_id, key)
+                self._send_control(
+                    incoming.src_node,
+                    ConnGrant(discriminator, self.nic.node_id, vi.vi_id,
+                              dst_rank=incoming.src_rank),
+                )
+            else:
+                self._pending_outgoing[key] = vi
+                self._send_control(
+                    remote_node,
+                    ConnRequest(
+                        discriminator, self.nic.node_id, vi.vi_id, src_rank, dst_rank
+                    ),
+                )
+
+        self._enqueue(job)
+
+    def _on_peer_request(self, req: ConnRequest) -> None:
+        # the local endpoint of this request is the process with rank
+        # req.dst_rank; key the local tables accordingly
+        key = (req.discriminator, req.dst_rank)
+        vi = self._pending_outgoing.pop(key, None)
+        if vi is not None:
+            # Crossed requests: both sides asked; each establishes from the
+            # other's request and the grants become idempotent no-ops.
+            self._establish(vi, req.src_node, req.src_vi_id, key)
+            self._send_control(
+                req.src_node,
+                ConnGrant(req.discriminator, self.nic.node_id, vi.vi_id,
+                          dst_rank=req.src_rank),
+            )
+        else:
+            self._pending_incoming[key] = req
+
+    def _on_peer_grant(self, grant: ConnGrant) -> None:
+        key = (grant.discriminator, grant.dst_rank)
+        vi = self._pending_outgoing.pop(key, None)
+        if vi is None:
+            return  # crossed-request race: already established locally
+        self._establish(vi, grant.src_node, grant.src_vi_id, key)
+
+    # -- disconnect (connection-cache eviction) --------------------------------
+    def disconnect_request(self, remote_node: int, discriminator: Discriminator,
+                           src_rank: int, dst_rank: int,
+                           returns_owed: int = 0) -> None:
+        """Host asked to tear down an idle connection (cost pre-charged)."""
+        self._enqueue(lambda: self._send_control(
+            remote_node,
+            DisconnectRequest(discriminator, src_rank, dst_rank,
+                              returns_owed)))
+
+    def disconnect_reply(self, remote_node: int, discriminator: Discriminator,
+                         src_rank: int, dst_rank: int, ack: bool,
+                         returns_owed: int = 0) -> None:
+        self._enqueue(lambda: self._send_control(
+            remote_node,
+            DisconnectReply(discriminator, src_rank, dst_rank, ack,
+                            returns_owed)))
+
+    def _deliver_disconnect(self, message) -> None:
+        # hand the message to the right local process; decisions about
+        # quiescence belong to the MPI layer and happen at its next
+        # device check (weak progress)
+        for provider in self._local_providers:
+            if provider.rank == message.dst_rank:
+                provider.pending_disconnects.append(message)
+                provider.activity.fire()
+                return
+        raise ViaConnectionError(
+            f"disconnect for unknown rank {message.dst_rank} on node "
+            f"{self.nic.node_id}")
+
+    # -- client/server model -------------------------------------------------------
+    def listen(self, server_rank: int) -> None:
+        """Register a server rank willing to accept connections."""
+        self._cs_queues.setdefault(server_rank, deque())
+
+    def client_request(
+        self, vi: VI, server_node: int, server_rank: int,
+        client_rank: int, discriminator: Discriminator,
+    ) -> None:
+        """Host called VipConnectRequest (client side)."""
+        if not self.profile.supports_client_server:
+            raise ViaConnectionError(
+                f"provider {self.profile.name!r} has no client/server model"
+            )
+        vi.mark_connect_pending()
+        self._cs_clients[discriminator] = vi
+
+        def job() -> None:
+            self._send_control(
+                server_node,
+                CsConnRequest(
+                    discriminator, self.nic.node_id, vi.vi_id, client_rank, server_rank
+                ),
+            )
+
+        self._enqueue(job)
+
+    def _on_cs_request(self, req: CsConnRequest) -> None:
+        queue = self._cs_queues.get(req.server_rank)
+        if queue is None:
+            raise ViaConnectionError(
+                f"client/server request for rank {req.server_rank}, "
+                f"which is not listening on node {self.nic.node_id}"
+            )
+        queue.append(req)
+        # wake any process polling VipConnectWait on this node
+        for provider in self._local_providers:
+            provider.activity.fire()
+
+    def poll_cs_request(
+        self, server_rank: int, from_rank: Optional[int] = None
+    ) -> Optional[CsConnRequest]:
+        """Server-side VipConnectWait poll.
+
+        With ``from_rank`` set, only a request from that specific client
+        is returned — MVICH's *serialized* setup accepts clients in rank
+        order "regardless of the arrival order of connection requests"
+        (paper §5.6); others stay queued.
+        """
+        queue = self._cs_queues.get(server_rank)
+        if not queue:
+            return None
+        if from_rank is None:
+            return queue.popleft()
+        for i, req in enumerate(queue):
+            if req.client_rank == from_rank:
+                del queue[i]
+                return req
+        return None
+
+    def accept(self, req: CsConnRequest, vi: VI) -> None:
+        """Server accepts: connect the server VI, grant the client."""
+        vi.mark_connect_pending()
+
+        def job() -> None:
+            self._establish(vi, req.src_node, req.src_vi_id)
+            self._send_control(
+                req.src_node,
+                CsConnGrant(req.discriminator, self.nic.node_id, vi.vi_id),
+            )
+
+        self._enqueue(job)
+
+    def _on_cs_grant(self, grant: CsConnGrant) -> None:
+        vi = self._cs_clients.pop(grant.discriminator, None)
+        if vi is None:
+            raise ViaConnectionError(
+                f"grant for unknown client discriminator {grant.discriminator}"
+            )
+        self._establish(vi, grant.src_node, grant.src_vi_id)
+
+    # -- common ---------------------------------------------------------------------
+    def _establish(
+        self, vi: VI, remote_node: int, remote_vi_id: int,
+        key: Optional[tuple] = None,
+    ) -> None:
+        if key is not None:
+            self._requested.discard(key)
+        def finish() -> None:
+            vi.mark_connected(remote_node, remote_vi_id, self.engine.now)
+            self.connections_established += 1
+            owner = self.nic.owner_of(vi)
+            owner.on_connection_established(vi)
+            self.nic.release_early(vi)
+
+        # kernel instantiates the connection state, then the VI flips
+        self.engine.schedule(self.costs.establish_us, finish)
+
+    def on_control(self, message) -> None:
+        """NIC routed an incoming control packet here."""
+        if isinstance(message, ConnRequest):
+            self._enqueue(lambda: self._on_peer_request(message))
+        elif isinstance(message, ConnGrant):
+            self._enqueue(lambda: self._on_peer_grant(message))
+        elif isinstance(message, CsConnRequest):
+            self._enqueue(lambda: self._on_cs_request(message))
+        elif isinstance(message, CsConnGrant):
+            self._enqueue(lambda: self._on_cs_grant(message))
+        elif isinstance(message, (DisconnectRequest, DisconnectReply)):
+            self._enqueue(lambda: self._deliver_disconnect(message))
+        else:  # pragma: no cover - routing guards this
+            raise ViaConnectionError(f"unknown control message {message!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ConnectionAgent node={self.nic.node_id} "
+            f"established={self.connections_established}>"
+        )

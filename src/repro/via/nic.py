@@ -1,0 +1,267 @@
+"""NIC models.
+
+One :class:`Nic` per node, shared by every process on that node (the
+testbed runs up to 4 processes per 4-CPU node).  The NIC is a *serial*
+resource on both the send and the receive side: work items queue and are
+serviced one at a time, with a per-item service time taken from the
+:class:`~repro.via.profiles.ViaProfile`.
+
+The Berkeley VIA behaviour central to the paper comes from
+``profile.nic_per_vi_us``: the LANai firmware discovers work by scanning
+the doorbells of every active VI, so each service takes longer the more
+VIs exist on the node — reproducing Figure 1 and every "on-demand wins
+on BVIA" result downstream.
+
+Dropped messages: per the VIA spec, a :class:`DataMessage` that finds no
+pre-posted receive descriptor is discarded.  The NIC counts drops; the
+MPI flow-control layer is responsible for making the count stay zero,
+and failure-injection tests deliberately break it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Deque, Dict, Optional
+
+from repro.fabric.network import Network
+from repro.fabric.packet import Packet
+from repro.sim.engine import Engine
+from repro.via.constants import DescriptorOp, DescriptorStatus, ViState, ViaProtocolError
+from repro.via.descriptor import Descriptor
+from repro.via.messages import (
+    CONTROL_TYPES,
+    DataMessage,
+    RdmaWriteMessage,
+)
+from repro.via.profiles import ViaProfile
+from repro.via.vi import VI
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.via.agent import ConnectionAgent
+    from repro.via.provider import ViaProvider
+
+
+class Nic:
+    """One node's network interface."""
+
+    def __init__(self, engine: Engine, node_id: int, profile: ViaProfile, network: Network):
+        self.engine = engine
+        self.node_id = node_id
+        self.profile = profile
+        self.network = network
+        self.port = network.attach(node_id, self._on_packet)
+        self.agent: Optional["ConnectionAgent"] = None
+
+        self._vis: Dict[int, VI] = {}
+        self._owners: Dict[int, "ViaProvider"] = {}
+        self._next_vi_id = 1
+
+        # serial send engine
+        self._tx_queue: Deque[VI] = deque()
+        self._tx_scheduled = False
+        self._tx_busy_until = 0.0
+
+        # serial receive engine
+        self._rx_queue: Deque[Packet] = deque()
+        self._rx_scheduled = False
+        self._rx_busy_until = 0.0
+
+        #: arrivals for VIs whose connection handshake has not finished
+        #: locally yet (the peer may legitimately be CONNECTED and sending
+        #: before our grant lands); released at establishment
+        self._early: Dict[int, Deque[Packet]] = {}
+
+        # counters
+        self.messages_sent = 0
+        self.messages_received = 0
+        self.rdma_writes_received = 0
+        self.dropped_no_recv_descriptor = 0
+        self.dropped_bad_vi = 0
+        self.early_arrivals = 0
+
+    # -- VI management -------------------------------------------------------
+    def allocate_vi_id(self) -> int:
+        vi_id = self._next_vi_id
+        self._next_vi_id += 1
+        return vi_id
+
+    def attach_vi(self, vi: VI, owner: "ViaProvider") -> None:
+        if vi.vi_id in self._vis:
+            raise ViaProtocolError(f"VI id {vi.vi_id} already attached to node {self.node_id}")
+        limit = self.profile.max_vis_per_nic
+        if limit is not None and len(self._vis) >= limit:
+            raise ViaProtocolError(
+                f"NIC on node {self.node_id} out of VI resources "
+                f"(limit {limit}); the paper's scalability point 2"
+            )
+        self._vis[vi.vi_id] = vi
+        self._owners[vi.vi_id] = owner
+
+    def detach_vi(self, vi: VI) -> None:
+        self._vis.pop(vi.vi_id, None)
+        self._owners.pop(vi.vi_id, None)
+
+    def lookup_vi(self, vi_id: int) -> Optional[VI]:
+        return self._vis.get(vi_id)
+
+    def owner_of(self, vi: VI) -> "ViaProvider":
+        return self._owners[vi.vi_id]
+
+    @property
+    def attached_vi_count(self) -> int:
+        return len(self._vis)
+
+    @property
+    def active_vi_count(self) -> int:
+        """VIs the firmware must scan: connected or connecting."""
+        return sum(
+            1
+            for vi in self._vis.values()
+            if vi.state in (ViState.CONNECTED, ViState.CONNECT_PENDING)
+        )
+
+    # -- send path -------------------------------------------------------------
+    def ring_doorbell(self, vi: VI) -> None:
+        """Host posted a send descriptor on ``vi``; schedule NIC service."""
+        self._tx_queue.append(vi)
+        self._kick_tx()
+
+    def _kick_tx(self) -> None:
+        if self._tx_scheduled or not self._tx_queue:
+            return
+        self._tx_scheduled = True
+        start = max(self.engine.now, self._tx_busy_until)
+        service = self.profile.nic_send_service_us(self.active_vi_count)
+        done = start + service
+        self._tx_busy_until = done
+        self.engine.schedule(done - self.engine.now, self._service_one_tx)
+
+    def _service_one_tx(self) -> None:
+        self._tx_scheduled = False
+        vi = self._tx_queue.popleft()
+        desc = vi.pop_send()
+        if desc is None:  # pragma: no cover - doorbell/descriptor invariant
+            raise ViaProtocolError(f"doorbell rung on VI {vi.vi_id} with empty send queue")
+        if vi.state is not ViState.CONNECTED or vi.peer is None:
+            desc.complete(DescriptorStatus.FLUSHED, 0, self.engine.now)
+        else:
+            remote_node, remote_vi = vi.peer
+            if desc.op is DescriptorOp.SEND:
+                msg = DataMessage(
+                    dst_vi_id=remote_vi,
+                    src_vi_id=vi.vi_id,
+                    header=desc.header,
+                    data=None if desc.payload is None else desc.payload.copy(),
+                    descriptor_id=desc.descriptor_id,
+                )
+                wire = self.profile.header_bytes + msg.nbytes
+                kind = "eager"
+            elif desc.op is DescriptorOp.RDMA_WRITE:
+                msg = RdmaWriteMessage(
+                    dst_vi_id=remote_vi,
+                    src_vi_id=vi.vi_id,
+                    remote_handle=desc.remote_handle,
+                    remote_offset=desc.remote_offset,
+                    data=desc.payload.copy(),
+                    descriptor_id=desc.descriptor_id,
+                )
+                wire = self.profile.header_bytes + msg.nbytes
+                kind = "rdma"
+            else:  # pragma: no cover - enqueue_send() guards this
+                raise ViaProtocolError(f"unexpected op {desc.op} on send queue")
+            self.network.send(
+                Packet(src=self.node_id, dst=remote_node, wire_bytes=wire,
+                       payload=msg, kind=kind)
+            )
+            self.messages_sent += 1
+            desc.complete(DescriptorStatus.SUCCESS, msg.nbytes, self.engine.now)
+        vi.send_cq.push(desc)
+        self.owner_of(vi).activity.fire()
+        self._kick_tx()
+
+    def release_early(self, vi: VI) -> None:
+        """Re-service packets held while ``vi`` was CONNECT_PENDING.
+
+        They go to the *front* of the service queue: anything already
+        queued from this VI's peer arrived later, and per-VI arrival
+        order must be preserved (MPI's non-overtaking rule depends on
+        it)."""
+        held = self._early.pop(vi.vi_id, None)
+        if held:
+            self._rx_queue.extendleft(reversed(held))
+            self._kick_rx()
+
+    # -- receive path ------------------------------------------------------------
+    def _on_packet(self, packet: Packet) -> None:
+        payload = packet.payload
+        if isinstance(payload, CONTROL_TYPES):
+            if self.agent is None:  # pragma: no cover - wiring error
+                raise ViaProtocolError(f"node {self.node_id} has no connection agent")
+            self.agent.on_control(payload)
+            return
+        self._rx_queue.append(packet)
+        self._kick_rx()
+
+    def _kick_rx(self) -> None:
+        if self._rx_scheduled or not self._rx_queue:
+            return
+        self._rx_scheduled = True
+        start = max(self.engine.now, self._rx_busy_until)
+        service = self.profile.nic_recv_service_us(self.active_vi_count)
+        done = start + service
+        self._rx_busy_until = done
+        self.engine.schedule(done - self.engine.now, self._service_one_rx)
+
+    def _service_one_rx(self) -> None:
+        self._rx_scheduled = False
+        packet = self._rx_queue.popleft()
+        msg = packet.payload
+        vi = self.lookup_vi(msg.dst_vi_id)
+        if vi is not None and vi.state is ViState.CONNECT_PENDING:
+            # our side of the handshake is still in the kernel agent;
+            # hold the packet and re-service it at establishment
+            self.early_arrivals += 1
+            self._early.setdefault(vi.vi_id, deque()).append(packet)
+        elif vi is None or vi.state is not ViState.CONNECTED:
+            self.dropped_bad_vi += 1
+        elif isinstance(msg, DataMessage):
+            self._deliver_data(vi, msg)
+        elif isinstance(msg, RdmaWriteMessage):
+            self._deliver_rdma(vi, msg)
+        else:  # pragma: no cover - routing guards this
+            raise ViaProtocolError(f"NIC cannot handle {type(msg).__name__}")
+        self._kick_rx()
+
+    def _deliver_data(self, vi: VI, msg: DataMessage) -> None:
+        desc = vi.pop_recv()
+        if desc is None:
+            # VIA semantics: no pre-posted descriptor => message dropped.
+            self.dropped_no_recv_descriptor += 1
+            return
+        nbytes = msg.nbytes
+        if msg.data is not None:
+            if nbytes > desc.buffer.size:
+                desc.complete(DescriptorStatus.ERROR, 0, self.engine.now)
+                vi.recv_cq.push(desc)
+                self.owner_of(vi).activity.fire()
+                return
+            desc.buffer.view()[:nbytes] = msg.data
+        desc.header = msg.header
+        desc.complete(DescriptorStatus.SUCCESS, nbytes, self.engine.now)
+        self.messages_received += 1
+        vi.recv_cq.push(desc)
+        self.owner_of(vi).activity.fire()
+
+    def _deliver_rdma(self, vi: VI, msg: RdmaWriteMessage) -> None:
+        owner = self.owner_of(vi)
+        region = owner.registry.lookup(msg.remote_handle)
+        region.write(msg.remote_offset, msg.data, vi.protection_tag)
+        self.rdma_writes_received += 1
+        # One-sided: no receive descriptor consumed, no completion entry.
+        # The upper layer learns about the data from its own FIN message.
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Nic node={self.node_id} profile={self.profile.name} "
+            f"vis={len(self._vis)} active={self.active_vi_count}>"
+        )

@@ -1,0 +1,306 @@
+"""Host-facing VIA provider — one per simulated process.
+
+Method names shadow the VIP API (``VipCreateVi``, ``VipPostSend``,
+``VipConnectPeerRequest``...).  Every host-side method returns the time
+it costs (µs) — or a ``(result, cost)`` tuple — and the *caller* (the
+MPI ADI layer) charges that time to the simulated clock by yielding a
+timeout.  NIC and kernel-agent work proceeds autonomously through
+engine callbacks.
+
+The provider also owns the per-process **activity signal** that the MPI
+progress engine parks on: the NIC fires it on every completion, the
+agent on every connection event.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.memory.buffer_pool import BufferPool, BufferPoolError
+from repro.memory.registry import MemoryRegistry, RegistrationCache
+from repro.sim.engine import Engine
+from repro.sim.signal import Signal
+from repro.via.agent import ConnectionAgent
+from repro.via.completion_queue import CompletionQueue
+from repro.via.constants import (
+    DescriptorOp,
+    ViState,
+    ViaConnectionError,
+    ViaProtocolError,
+)
+from repro.via.descriptor import Descriptor
+from repro.via.messages import CsConnRequest, Discriminator
+from repro.via.nic import Nic
+from repro.via.vi import VI
+
+
+@dataclass(frozen=True)
+class ViConfig:
+    """Per-VI buffer provisioning.
+
+    Defaults reproduce MVICH's footprint the paper cites: 16 pre-posted
+    5000-byte receive buffers + 8 send bounce buffers = 120 kB of pinned
+    memory per VI.
+    """
+
+    prepost_count: int = 16
+    send_pool_count: int = 8
+    eager_buffer_size: int = 5000
+
+    @property
+    def pinned_bytes_per_vi(self) -> int:
+        return (self.prepost_count + self.send_pool_count) * self.eager_buffer_size
+
+
+class ViaProvider:
+    """The VIP library instance of one process."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        nic: Nic,
+        agent: ConnectionAgent,
+        registry: MemoryRegistry,
+        rank: int,
+        job_id: int = 0,
+        config: Optional[ViConfig] = None,
+    ):
+        self.engine = engine
+        self.nic = nic
+        self.agent = agent
+        self.profile = nic.profile
+        self.registry = registry
+        self.rank = rank
+        self.job_id = job_id
+        self.config = config or ViConfig()
+        self.activity = Signal(engine, name=f"via.activity.r{rank}")
+        #: one send CQ and one recv CQ shared by all this process's VIs,
+        #: the arrangement MVICH uses for its progress loop
+        self.send_cq = CompletionQueue(f"send-cq.r{rank}")
+        self.recv_cq = CompletionQueue(f"recv-cq.r{rank}")
+        self.dreg = RegistrationCache(registry)
+        agent.register_local(self)
+
+        #: agent-delivered disconnect control messages awaiting the MPI
+        #: layer's next progress pass
+        self.pending_disconnects: list = []
+
+        # counters for the paper's resource tables
+        self.vis_created = 0
+        self.vis_destroyed = 0
+        self.connections_established = 0
+        self._vis: dict[int, VI] = {}
+
+    # ------------------------------------------------------------------ VIs --
+    def create_vi(self, remote_rank: Optional[int] = None) -> Tuple[VI, float]:
+        """VipCreateVi + buffer provisioning; returns (vi, host_cost_us)."""
+        cfg = self.config
+        tag = self.rank + 1
+        recv_pool = BufferPool(
+            self.registry, cfg.prepost_count, cfg.eager_buffer_size,
+            protection_tag=tag, label=f"r{self.rank}.recv",
+        )
+        send_pool = BufferPool(
+            self.registry, cfg.send_pool_count, cfg.eager_buffer_size,
+            protection_tag=tag, label=f"r{self.rank}.send",
+        )
+        vi = VI(
+            vi_id=self.nic.allocate_vi_id(),
+            node_id=self.nic.node_id,
+            owner_rank=self.rank,
+            protection_tag=tag,
+            send_cq=self.send_cq,
+            recv_cq=self.recv_cq,
+            recv_pool=recv_pool,
+            send_pool=send_pool,
+        )
+        vi.remote_rank = remote_rank
+        self.nic.attach_vi(vi, self)
+        self._vis[vi.vi_id] = vi
+        cost = (
+            self.profile.create_vi_us
+            + recv_pool.registration_cost_us
+            + send_pool.registration_cost_us
+        )
+        # pre-post the whole receive arena
+        for _ in range(cfg.prepost_count):
+            buf = recv_pool.acquire()
+            vi.enqueue_recv(Descriptor(DescriptorOp.RECV, vi.vi_id, buffer=buf))
+            cost += self.profile.post_recv_us
+        self.vis_created += 1
+        return vi, cost
+
+    def grow_recv_pool(self, vi: VI, count: int) -> float:
+        """Dynamic flow control: pin and pre-post ``count`` more eager
+        buffers on ``vi``; returns the host cost."""
+        pool = BufferPool(
+            self.registry, count, self.config.eager_buffer_size,
+            protection_tag=vi.protection_tag,
+            label=f"r{self.rank}.recv-grow",
+        )
+        vi.extra_recv_pools.append(pool)
+        cost = pool.registration_cost_us
+        for _ in range(count):
+            buf = pool.acquire()
+            vi.enqueue_recv(Descriptor(DescriptorOp.RECV, vi.vi_id, buffer=buf))
+            cost += self.profile.post_recv_us
+        return cost
+
+    def destroy_vi(self, vi: VI) -> float:
+        """VipDestroyVi: detach and unpin."""
+        if vi.vi_id not in self._vis:
+            raise ViaProtocolError(f"VI {vi.vi_id} does not belong to rank {self.rank}")
+        self.nic.detach_vi(vi)
+        del self._vis[vi.vi_id]
+        vi.state = ViState.DISCONNECTED
+        cost = self.profile.destroy_vi_us
+        vi.recv_pool.destroy()
+        vi.send_pool.destroy()
+        for pool in vi.extra_recv_pools:
+            pool.destroy()
+        self.vis_destroyed += 1
+        return cost
+
+    @property
+    def live_vi_count(self) -> int:
+        return len(self._vis)
+
+    def vis(self):
+        """Iterate over this process's live VIs."""
+        return self._vis.values()
+
+    # ------------------------------------------------------------- datapath --
+    def repost_recv(self, vi: VI, buffer) -> float:
+        """Re-post a consumed eager buffer as a fresh receive descriptor."""
+        vi.enqueue_recv(Descriptor(DescriptorOp.RECV, vi.vi_id, buffer=buffer))
+        return self.profile.post_recv_us
+
+    def can_post_send(self, vi: VI) -> bool:
+        """True if a send bounce buffer is available right now."""
+        return vi.send_pool.free_count > 0
+
+    def post_send(
+        self, vi: VI, header, payload: Optional[np.ndarray], context=None
+    ) -> Tuple[Descriptor, float]:
+        """VipPostSend of an eager message.
+
+        Copies ``payload`` into a pinned bounce buffer (host memcpy,
+        charged), posts the descriptor and rings the doorbell.  Raises
+        :class:`BufferPoolError` when no bounce buffer is free — callers
+        check :meth:`can_post_send` and throttle (that's MPI-level send
+        flow control).
+        """
+        nbytes = 0 if payload is None else int(payload.nbytes)
+        if nbytes > self.config.eager_buffer_size:
+            raise ViaProtocolError(
+                f"eager payload of {nbytes}B exceeds buffer size "
+                f"{self.config.eager_buffer_size}"
+            )
+        bounce = vi.send_pool.acquire()
+        cost = self.profile.post_send_us
+        data_view: Optional[np.ndarray] = None
+        if payload is not None:
+            payload8 = np.ascontiguousarray(payload).view(np.uint8).ravel()
+            bounce.fill_from(payload8)
+            data_view = bounce.view()[:nbytes]
+            cost += self.profile.copy_us(nbytes)
+        desc = Descriptor(
+            DescriptorOp.SEND, vi.vi_id, header=header, payload=data_view
+            if data_view is not None else np.empty(0, dtype=np.uint8),
+            buffer=bounce, context=context,
+        )
+        vi.enqueue_send(desc)
+        self.nic.ring_doorbell(vi)
+        return desc, cost
+
+    def release_send_buffer(self, desc: Descriptor) -> None:
+        """Return the bounce buffer of a completed send descriptor."""
+        if desc.buffer is not None:
+            desc.buffer.pool.release(desc.buffer)
+            desc.buffer = None
+
+    def post_rdma_write(
+        self, vi: VI, payload: np.ndarray, remote_handle: int,
+        remote_offset: int = 0, context=None,
+    ) -> Tuple[Descriptor, float]:
+        """VipPostSend of an RDMA-write descriptor (zero copy).
+
+        ``payload`` must already live in registered memory (the caller
+        went through the dreg cache); no bounce buffer is used.
+        """
+        payload8 = np.ascontiguousarray(payload).view(np.uint8).ravel()
+        desc = Descriptor(
+            DescriptorOp.RDMA_WRITE, vi.vi_id, payload=payload8,
+            remote_handle=remote_handle, remote_offset=remote_offset,
+            context=context,
+        )
+        vi.enqueue_send(desc)
+        self.nic.ring_doorbell(vi)
+        return desc, self.profile.post_send_us
+
+    def poll_send_cq(self) -> Optional[Descriptor]:
+        """VipCQDone on the send CQ (free; the progress loop charges polls)."""
+        return self.send_cq.poll()
+
+    def poll_recv_cq(self) -> Optional[Descriptor]:
+        return self.recv_cq.poll()
+
+    # ------------------------------------------------------------ connections --
+    def discriminator_for(self, other_rank: int) -> Discriminator:
+        """The (job, low, high) discriminator of the pair (self, other)."""
+        lo, hi = sorted((self.rank, other_rank))
+        return (self.job_id, lo, hi)
+
+    def connect_peer_request(
+        self, vi: VI, remote_node: int, remote_rank: int
+    ) -> float:
+        """VipConnectPeerRequest: nonblocking, symmetric."""
+        self.agent.peer_request(
+            vi, remote_node, self.discriminator_for(remote_rank),
+            src_rank=self.rank, dst_rank=remote_rank,
+        )
+        return self.profile.connection.host_request_us
+
+    def connect_peer_done(self, vi: VI) -> bool:
+        """VipConnectPeerDone: nonblocking establishment check."""
+        return vi.is_connected
+
+    def listen(self) -> None:
+        """Register this rank as a client/server-model server."""
+        self.agent.listen(self.rank)
+
+    def poll_connect_wait(
+        self, from_rank: Optional[int] = None
+    ) -> Tuple[Optional[CsConnRequest], float]:
+        """One VipConnectWait poll; returns (request_or_None, host_cost)."""
+        req = self.agent.poll_cs_request(self.rank, from_rank)
+        return req, self.profile.connection.host_wait_poll_us
+
+    def connect_accept(self, req: CsConnRequest, vi: VI) -> float:
+        """VipConnectAccept (server side)."""
+        self.agent.accept(req, vi)
+        return self.profile.connection.host_accept_us
+
+    def connect_client_request(
+        self, vi: VI, server_node: int, server_rank: int
+    ) -> float:
+        """VipConnectRequest (client side of the client/server model)."""
+        self.agent.client_request(
+            vi, server_node, server_rank, self.rank,
+            self.discriminator_for(server_rank),
+        )
+        return self.profile.connection.host_request_us
+
+    def on_connection_established(self, vi: VI) -> None:
+        """Agent callback when one of our VIs transitions to CONNECTED."""
+        self.connections_established += 1
+        self.activity.fire()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ViaProvider rank={self.rank} node={self.nic.node_id} "
+            f"vis={len(self._vis)} conns={self.connections_established}>"
+        )

@@ -1,0 +1,150 @@
+"""VI endpoints.
+
+A VI is the connection-oriented, bidirectional endpoint at the heart of
+the paper: creating one allocates pinned pre-posted buffers (the ~120 kB
+the resource argument counts), and it is useless until connected to
+exactly one remote VI.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Optional, Tuple
+
+from repro.memory.buffer_pool import BufferPool
+from repro.via.completion_queue import CompletionQueue
+from repro.via.constants import DescriptorOp, ViState, ViaProtocolError
+from repro.via.descriptor import Descriptor
+
+
+class VI:
+    """One Virtual Interface endpoint.
+
+    Owned by a single simulated process; attached to that node's NIC.
+    ``recv_pool`` is the arena of pre-posted eager buffers; the MPI layer
+    re-posts a receive descriptor each time it consumes one.
+    """
+
+    __slots__ = (
+        "vi_id",
+        "node_id",
+        "owner_rank",
+        "state",
+        "protection_tag",
+        "send_cq",
+        "recv_cq",
+        "recv_pool",
+        "send_pool",
+        "extra_recv_pools",
+        "_recv_queue",
+        "_send_backlog",
+        "peer",
+        "remote_rank",
+        "sends_posted",
+        "recvs_posted",
+        "user_context",
+        "connected_at",
+    )
+
+    def __init__(
+        self,
+        vi_id: int,
+        node_id: int,
+        owner_rank: int,
+        protection_tag: int,
+        send_cq: CompletionQueue,
+        recv_cq: CompletionQueue,
+        recv_pool: BufferPool,
+        send_pool: BufferPool,
+    ):
+        self.vi_id = vi_id
+        self.node_id = node_id
+        self.owner_rank = owner_rank
+        self.state = ViState.IDLE
+        self.protection_tag = protection_tag
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.recv_pool = recv_pool
+        self.send_pool = send_pool
+        #: chunks added by dynamic flow control (grown on demand)
+        self.extra_recv_pools = []
+        #: pre-posted receive descriptors, consumed in FIFO order by the NIC
+        self._recv_queue: Deque[Descriptor] = deque()
+        #: sends accepted before the NIC services them (the VI's Send Queue)
+        self._send_backlog: Deque[Descriptor] = deque()
+        #: (remote_node_id, remote_vi_id) once connected
+        self.peer: Optional[Tuple[int, int]] = None
+        #: remote MPI rank this VI is connected to (upper-layer convenience)
+        self.remote_rank: Optional[int] = None
+        self.sends_posted = 0
+        self.recvs_posted = 0
+        self.user_context: Any = None
+        self.connected_at: float = -1.0
+
+    # -- connection state ---------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        return self.state is ViState.CONNECTED
+
+    def mark_connect_pending(self) -> None:
+        if self.state is not ViState.IDLE:
+            raise ViaProtocolError(
+                f"VI {self.vi_id}: connect from state {self.state.value}"
+            )
+        self.state = ViState.CONNECT_PENDING
+
+    def mark_connected(self, remote_node: int, remote_vi: int, now: float) -> None:
+        if self.state not in (ViState.IDLE, ViState.CONNECT_PENDING):
+            raise ViaProtocolError(
+                f"VI {self.vi_id}: connected from state {self.state.value}"
+            )
+        self.state = ViState.CONNECTED
+        self.peer = (remote_node, remote_vi)
+        self.connected_at = now
+
+    # -- queues ---------------------------------------------------------------
+    def enqueue_recv(self, descriptor: Descriptor) -> None:
+        """Pre-post a receive descriptor (host side)."""
+        if descriptor.op is not DescriptorOp.RECV:
+            raise ViaProtocolError("only RECV descriptors go on the receive queue")
+        self._recv_queue.append(descriptor)
+        self.recvs_posted += 1
+
+    def pop_recv(self) -> Optional[Descriptor]:
+        """NIC side: consume the oldest pre-posted receive, or None."""
+        return self._recv_queue.popleft() if self._recv_queue else None
+
+    @property
+    def posted_recv_count(self) -> int:
+        return len(self._recv_queue)
+
+    def enqueue_send(self, descriptor: Descriptor) -> None:
+        """Accept a send/RDMA descriptor onto the Send Queue.
+
+        VIA semantics: posting to an unconnected VI is an error the
+        provider surfaces immediately (the paper's on-demand design keeps
+        its *own* FIFO above this layer precisely because of this rule).
+        """
+        if self.state is not ViState.CONNECTED:
+            raise ViaProtocolError(
+                f"VI {self.vi_id}: send posted while {self.state.value}; "
+                "requests on an unconnected VI are discarded"
+            )
+        if descriptor.op not in (DescriptorOp.SEND, DescriptorOp.RDMA_WRITE):
+            raise ViaProtocolError("only SEND/RDMA descriptors go on the send queue")
+        self._send_backlog.append(descriptor)
+        self.sends_posted += 1
+
+    def pop_send(self) -> Optional[Descriptor]:
+        """NIC side: next send to service."""
+        return self._send_backlog.popleft() if self._send_backlog else None
+
+    @property
+    def pending_send_count(self) -> int:
+        return len(self._send_backlog)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<VI #{self.vi_id} node={self.node_id} rank={self.owner_rank} "
+            f"{self.state.value} peer={self.peer}>"
+        )

@@ -1,0 +1,36 @@
+"""Helpers for MPI-layer tests: run small jobs concisely."""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.via.profiles import BERKELEY, CLAN
+
+
+def run(
+    program: Callable,
+    nprocs: int = 2,
+    nodes: int = 4,
+    ppn: int = 4,
+    connection: str = "ondemand",
+    completion: str = "polling",
+    profile=CLAN,
+    seed: int = 0,
+    allow_drops: bool = False,
+    per_rank_args: Optional[List[tuple]] = None,
+    **config_kwargs: Any,
+):
+    """Run ``program`` on a small cluster; returns the JobResult."""
+    spec = ClusterSpec(nodes=nodes, ppn=ppn, profile=profile, seed=seed)
+    config = MpiConfig(
+        connection=connection, completion=completion, **config_kwargs
+    )
+    return run_job(
+        spec, nprocs, program, config,
+        allow_drops=allow_drops, per_rank_args=per_rank_args,
+    )
+
+
+ALL_CONNECTIONS = ("ondemand", "static-p2p", "static-cs")

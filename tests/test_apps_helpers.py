@@ -1,0 +1,113 @@
+"""Unit tests for workload helper functions and the facade's clock."""
+
+import numpy as np
+import pytest
+
+from repro.apps.npb import cg, ep, ft, is_, mg, sp
+from repro.apps.npb.common import CostModel, NpbResult
+
+from tests.mpi_rig import run
+
+
+class TestProcessGrid:
+    @pytest.mark.parametrize("p,expected", [
+        (1, (1, 1, 1)),
+        (8, (2, 2, 2)),
+        (16, (2, 2, 4)),
+        (32, (2, 4, 4)),
+        (64, (4, 4, 4)),
+        (6, (1, 2, 3)),
+    ])
+    def test_most_cubic_factorization(self, p, expected):
+        assert mg.process_grid(p) == expected
+
+    def test_product_is_p(self):
+        for p in range(1, 40):
+            a, b, c = mg.process_grid(p)
+            assert a * b * c == p
+            assert a <= b <= c
+
+
+class TestCostModel:
+    def test_flops_and_mem(self):
+        cm = CostModel(flops_per_us=100.0, mem_bytes_per_us=200.0)
+        assert cm.flops(1000) == 10.0
+        assert cm.mem(1000) == 5.0
+
+    def test_npb_result_seconds(self):
+        r = NpbResult("CG", "A", 16, time_us=2_000_000.0,
+                      verification=1.0, verified=True)
+        assert r.time_s == 2.0
+
+
+class TestKernelHelpers:
+    def test_cg_matrix_is_spd_and_deterministic(self):
+        a1 = cg.build_matrix(64, seed=1)
+        a2 = cg.build_matrix(64, seed=1)
+        assert np.array_equal(a1, a2)
+        assert np.allclose(a1, a1.T)
+        eigvals = np.linalg.eigvalsh(a1)
+        assert eigvals.min() > 0
+
+    def test_cg_serial_reference_stable(self):
+        assert cg.serial_reference("S") == cg.serial_reference("S")
+
+    def test_ep_generate_counts_consistent(self):
+        sx, sy, q = ep._generate(10_000, seed=3)
+        assert q.sum() > 0
+        assert np.isfinite([sx, sy]).all()
+
+    def test_ep_serial_reference_partitions(self):
+        # the reference over P ranks equals the sum of per-rank streams
+        sx8, sy8, q8 = ep.serial_reference("S", 8)
+        sx, sy, q = 0.0, 0.0, np.zeros(10, dtype=np.int64)
+        total = 1 << ep.CLASSES["S"]
+        for r in range(8):
+            gx, gy, qr = ep._generate(total // 8, 11 + r)
+            sx += gx; sy += gy; q += qr
+        assert sx8 == pytest.approx(sx)
+        assert np.array_equal(q8, q)
+
+    def test_ft_global_field_deterministic(self):
+        f1 = ft.global_field(8, seed=2)
+        f2 = ft.global_field(8, seed=2)
+        assert np.array_equal(f1, f2)
+        assert f1.dtype == complex
+
+    def test_unknown_class_rejected_everywhere(self):
+        for module, make in [(cg, cg.make_cg), (is_, is_.make_is),
+                             (mg, mg.make_mg), (sp, sp.make_sp),
+                             (ft, ft.make_ft), (ep, ep.make_ep)]:
+            with pytest.raises(ValueError, match="unknown class"):
+                make("Z")
+
+
+class TestFacadeClock:
+    def test_wtime_monotonic_and_jitter_bounded(self):
+        def prog(mpi):
+            t0 = mpi.wtime()
+            yield from mpi.compute(10_000.0)
+            t1 = mpi.wtime()
+            return t1 - t0
+
+        res = run(prog, nprocs=4, nodes=4, ppn=1)
+        for elapsed in res.returns:
+            assert 10_000.0 * 0.994 <= elapsed <= 10_000.0 * 1.006
+
+    def test_zero_compute_free(self):
+        def prog(mpi):
+            t0 = mpi.wtime()
+            yield from mpi.compute(0.0)
+            return mpi.wtime() - t0
+
+        res = run(prog, nprocs=1, nodes=1, ppn=1)
+        assert res.returns[0] == 0.0
+
+    def test_negative_compute_rejected(self):
+        from repro.cluster.job import JobError
+
+        def prog(mpi):
+            yield from mpi.compute(-1.0)
+
+        with pytest.raises(JobError):
+            run(prog, nprocs=1, nodes=1, ppn=1)

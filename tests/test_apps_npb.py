@@ -1,0 +1,166 @@
+"""NPB kernel tests: numerics, determinism, and connection patterns."""
+
+import numpy as np
+import pytest
+
+from repro.apps.npb import KERNELS, cg, ep, ft
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+
+SPEC = ClusterSpec(nodes=8, ppn=4)
+
+
+def run_kernel(name, nprocs, npb_class="S", connection="ondemand", **kw):
+    res = run_job(SPEC, nprocs, KERNELS[name](npb_class, **kw),
+                  MpiConfig(connection=connection))
+    first = res.returns[0]
+    return res, first[0] if isinstance(first, tuple) else first
+
+
+class TestCG:
+    def test_verifies_against_serial_numpy(self):
+        res, r = run_kernel("cg", 8)
+        assert r.verified
+        assert r.verification == pytest.approx(cg.serial_reference("S"),
+                                               rel=1e-9)
+
+    def test_all_ranks_agree(self):
+        res, _ = run_kernel("cg", 4)
+        zetas = [x.verification for x in res.returns]
+        assert all(z == pytest.approx(zetas[0]) for z in zetas)
+
+    def test_log_scale_connections(self):
+        res16, _ = run_kernel("cg", 16)
+        res32, _ = run_kernel("cg", 32)
+        # Table 2: CG is log-scale (paper: 4.75 @16, 5.78 @32)
+        assert 3.5 <= res16.resources.avg_vis <= 6.0
+        assert 4.5 <= res32.resources.avg_vis <= 7.0
+
+    def test_result_independent_of_connection_manager(self):
+        _, a = run_kernel("cg", 8, connection="ondemand")
+        _, b = run_kernel("cg", 8, connection="static-p2p")
+        assert a.verification == pytest.approx(b.verification, rel=1e-12)
+
+    def test_indivisible_size_rejected(self):
+        from repro.cluster.job import JobError
+
+        with pytest.raises(JobError, match="divisible"):
+            run_kernel("cg", 24)  # 256 % 24 != 0
+
+
+class TestIS:
+    @pytest.mark.parametrize("nprocs", [4, 8, 16])
+    def test_sorts_and_verifies(self, nprocs):
+        res, r = run_kernel("is", nprocs)
+        assert r.verified
+        assert all(x.verified for x in res.returns)
+
+    def test_fully_connected(self):
+        res, _ = run_kernel("is", 16)
+        assert res.resources.avg_vis == 15.0  # Table 2: IS row
+        assert res.resources.utilization == 1.0
+
+    def test_same_result_both_managers(self):
+        _, a = run_kernel("is", 8, connection="ondemand")
+        _, b = run_kernel("is", 8, connection="static-p2p")
+        assert a.verified and b.verified
+
+
+class TestEP:
+    def test_matches_serial_reference(self):
+        nprocs = 8
+        res, r = run_kernel("ep", nprocs)
+        sx, _sy, _q = ep.serial_reference("S", nprocs)
+        assert r.verification == pytest.approx(sx, rel=1e-9)
+        assert r.verified
+
+    def test_log_connections(self):
+        res, _ = run_kernel("ep", 16)
+        assert res.resources.avg_vis == 4.0  # Table 2: EP @16 = 4
+
+
+class TestMG:
+    @pytest.mark.parametrize("nprocs", [8, 16])
+    def test_residual_decreases(self, nprocs):
+        res, r = run_kernel("mg", nprocs)
+        assert r.verified
+        assert r.verification < 0.9  # residual ratio
+
+    def test_wide_connection_set(self):
+        res, _ = run_kernel("mg", 16)
+        # Table 2 reports MG ~fully connected; our variant is at least
+        # clearly wider than the log-scale kernels
+        assert res.resources.avg_vis > 5.0
+
+
+class TestSPBT:
+    @pytest.mark.parametrize("name", ["sp", "bt"])
+    def test_eight_partners(self, name):
+        res, r = run_kernel(name, 16)
+        assert r.verified
+        assert res.resources.avg_vis == 8.0  # Table 2: exactly 8 @16
+
+    @pytest.mark.parametrize("name", ["sp", "bt"])
+    def test_checksum_stable_across_managers(self, name):
+        _, a = run_kernel(name, 9, connection="ondemand")
+        _, b = run_kernel(name, 9, connection="static-p2p")
+        assert a.verification == pytest.approx(b.verification, rel=1e-12)
+
+    def test_non_square_rejected(self):
+        from repro.cluster.job import JobError
+
+        with pytest.raises(JobError, match="square"):
+            run_kernel("sp", 8)
+
+    def test_bt_costs_more_time_than_sp(self):
+        _, s = run_kernel("sp", 16)
+        _, b = run_kernel("bt", 16)
+        assert b.time_us > 1.3 * s.time_us  # BT/SP ~ 1.8 in Table 3
+
+
+class TestFT:
+    def test_spectrum_matches_serial_fftn(self):
+        nprocs = 4
+        res = run_job(SPEC, nprocs, KERNELS["ft"]("S"), MpiConfig())
+        n = ft.CLASSES["S"][0]
+        reference = np.fft.fftn(ft.global_field(n))
+        # distributed layout: out[z_local, y, x]
+        ref_zyx = reference.transpose(2, 1, 0)
+        slab = n // nprocs
+        for rank, (result, spectrum) in enumerate(res.returns):
+            assert result.verified
+            assert np.allclose(
+                spectrum, ref_zyx[rank * slab:(rank + 1) * slab], atol=1e-8)
+
+    def test_fully_connected_like_is(self):
+        res = run_job(SPEC, 16, KERNELS["ft"]("S"), MpiConfig())
+        assert res.resources.avg_vis == 15.0
+
+
+class TestLU:
+    def test_runs_and_verifies(self):
+        res, r = run_kernel("lu", 16)
+        assert r.verified
+
+    def test_sparse_connections(self):
+        res, _ = run_kernel("lu", 16)
+        # non-periodic 4-neighbour grid + allreduce: well below full
+        assert res.resources.avg_vis < 10.0
+
+    def test_checksum_deterministic(self):
+        _, a = run_kernel("lu", 8)
+        _, b = run_kernel("lu", 8)
+        assert a.verification == b.verification
+
+
+class TestTimingSanity:
+    def test_time_us_positive_and_bounded(self):
+        for name in KERNELS:
+            nprocs = 16
+            res, r = run_kernel(name, nprocs)
+            assert 0 < r.time_us < 1e9
+
+    def test_bigger_class_costs_more(self):
+        _, s = run_kernel("cg", 8, npb_class="S")
+        _, w = run_kernel("cg", 8, npb_class="W")
+        assert w.time_us > s.time_us

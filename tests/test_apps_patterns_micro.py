@@ -1,0 +1,157 @@
+"""Tests for the Table-1 pattern generators and the microbenchmarks."""
+
+import numpy as np
+import pytest
+
+from repro.apps import micro
+from repro.apps.patterns import PATTERNS
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.via.profiles import BERKELEY, CLAN
+
+
+def run_pattern(name, nprocs=64, **kw):
+    spec = ClusterSpec(nodes=16, ppn=4)
+    return run_job(spec, nprocs, PATTERNS[name](**kw), MpiConfig())
+
+
+class TestPatterns:
+    """Table 1: average distinct destinations per process at P=64."""
+
+    def test_sppm_near_paper(self):
+        res = run_pattern("sPPM")
+        assert res.resources.avg_distinct_destinations == pytest.approx(
+            5.5, abs=0.8)
+
+    def test_smg2000_matches_paper(self):
+        res = run_pattern("SMG2000")
+        assert res.resources.avg_distinct_destinations == pytest.approx(
+            41.88, abs=0.5)
+
+    def test_sphot_matches_paper(self):
+        res = run_pattern("Sphot")
+        assert res.resources.avg_distinct_destinations == pytest.approx(
+            0.98, abs=0.02)
+
+    def test_sweep3d_matches_paper(self):
+        res = run_pattern("Sweep3D")
+        assert res.resources.avg_distinct_destinations == pytest.approx(
+            3.5, abs=0.01)
+
+    def test_samrai_near_paper(self):
+        res = run_pattern("SAMRAI")
+        assert res.resources.avg_distinct_destinations == pytest.approx(
+            4.94, abs=1.0)
+
+    @pytest.mark.parametrize("name", sorted(PATTERNS))
+    def test_patterns_run_clean_at_16(self, name):
+        res = run_job(ClusterSpec(nodes=8, ppn=2), 16, PATTERNS[name](),
+                      MpiConfig())
+        assert res.dropped_messages == 0
+
+
+class TestPingpong:
+    def test_latency_increases_with_size(self):
+        spec = ClusterSpec(nodes=2, ppn=1)
+        res = run_job(spec, 2, micro.pingpong([0, 256, 4096]), MpiConfig())
+        lat = dict(res.returns[0])
+        assert lat[0] < lat[256] < lat[4096]
+
+    def test_clan_zero_byte_latency_plausible(self):
+        """cLAN MVICH small-message latency was ~10-20 µs."""
+        res = run_job(ClusterSpec(nodes=2, ppn=1, profile=CLAN), 2,
+                      micro.pingpong([4]), MpiConfig())
+        lat = res.returns[0][0][1]
+        assert 5.0 < lat < 25.0
+
+    def test_berkeley_slower_than_clan(self):
+        lat = {}
+        for profile in (CLAN, BERKELEY):
+            res = run_job(ClusterSpec(nodes=2, ppn=1, profile=profile), 2,
+                          micro.pingpong([4]), MpiConfig())
+            lat[profile.name] = res.returns[0][0][1]
+        assert lat["berkeley"] > lat["clan"]
+
+    def test_three_configs_equal_latency(self):
+        """Figure 2: polling, spinwait and on-demand overlap."""
+        values = []
+        for conn, compl in (("static-p2p", "polling"),
+                            ("static-p2p", "spinwait"),
+                            ("ondemand", "polling")):
+            res = run_job(ClusterSpec(nodes=2, ppn=1), 2,
+                          micro.pingpong([64]),
+                          MpiConfig(connection=conn, completion=compl))
+            values.append(res.returns[0][0][1])
+        assert max(values) < min(values) * 1.05
+
+
+class TestBandwidth:
+    def test_bandwidth_grows_then_dips_at_threshold(self):
+        """Figure 3: the eager->rendezvous switch at 5000 B dips."""
+        spec = ClusterSpec(nodes=2, ppn=1)
+        sizes = [1024, 4096, 4999, 5002, 16384, 65536]
+        res = run_job(spec, 2, micro.bandwidth(sizes), MpiConfig())
+        bw = dict(res.returns[0])
+        assert bw[4096] > bw[1024]          # growing in the eager range
+        assert bw[5002] < bw[4999]          # the dip at the threshold
+        assert bw[65536] > bw[5002]         # rendezvous recovers
+
+    def test_large_message_bandwidth_near_line_rate(self):
+        spec = ClusterSpec(nodes=2, ppn=1)
+        res = run_job(spec, 2, micro.bandwidth([262144], window=4),
+                      MpiConfig())
+        bw = res.returns[0][0][1]
+        assert bw > 0.5 * CLAN.link.bandwidth_bytes_per_us
+
+
+class TestCollectiveMicro:
+    def test_barrier_latency_scales_with_procs(self):
+        spec = ClusterSpec(nodes=8, ppn=4)
+        values = {}
+        for n in (2, 4, 8, 16):
+            res = run_job(spec, n, micro.barrier_latency(iterations=50),
+                          MpiConfig())
+            values[n] = res.returns[0]
+        assert values[2] < values[4] < values[8] < values[16]
+
+    def test_non_power_of_two_fluctuation(self):
+        """Figure 4: extra pre/post steps at non-power-of-two sizes."""
+        spec = ClusterSpec(nodes=8, ppn=4)
+        lat = {}
+        for n in (4, 5, 8):
+            res = run_job(spec, n, micro.barrier_latency(iterations=50),
+                          MpiConfig())
+            lat[n] = res.returns[0]
+        assert lat[5] > lat[4]  # 5 needs the fold/unfold steps
+
+    def test_allreduce_latency_positive(self):
+        res = run_job(ClusterSpec(nodes=8, ppn=2), 8,
+                      micro.allreduce_latency(iterations=20), MpiConfig())
+        assert res.returns[0] > 0
+
+    def test_dormant_vis_slow_berkeley_only(self):
+        """Figure 1's mechanism at the MPI level."""
+        def measure(profile, extra):
+            spec = ClusterSpec(nodes=2 + extra, ppn=1, profile=profile)
+            res = run_job(spec, 2 + extra,
+                          micro.dormant_vi_pingpong(extra), MpiConfig())
+            return res.returns[0]
+
+        bvia_0 = measure(BERKELEY, 0)
+        bvia_6 = measure(BERKELEY, 6)
+        clan_0 = measure(CLAN, 0)
+        clan_6 = measure(CLAN, 6)
+        assert bvia_6 > bvia_0 + 5 * BERKELEY.nic_per_vi_us
+        assert clan_6 == pytest.approx(clan_0, rel=0.02)
+
+    def test_ring_uses_two_partners(self):
+        res = run_job(ClusterSpec(nodes=8, ppn=2), 16, micro.ring(),
+                      MpiConfig())
+        assert res.resources.avg_vis == 2.0
+
+    def test_bcast_loop_rotating_root_widens_partners(self):
+        fixed = run_job(ClusterSpec(nodes=8, ppn=2), 16,
+                        micro.bcast_loop(rotate_root=False), MpiConfig())
+        rotating = run_job(ClusterSpec(nodes=8, ppn=2), 16,
+                           micro.bcast_loop(rotate_root=True), MpiConfig())
+        assert rotating.resources.avg_vis >= fixed.resources.avg_vis

@@ -1,0 +1,66 @@
+"""Tests for the experiment report containers and rendering."""
+
+import pytest
+
+from repro.bench.report import Experiment, Row
+
+
+def sample() -> Experiment:
+    exp = Experiment("Table X", "demo", ["a", "b"], notes="a note")
+    exp.add("row1", a=1.0, b=2.5)
+    exp.add("row2", a=3.0)
+    return exp
+
+
+class TestExperiment:
+    def test_columns_and_rows(self):
+        exp = sample()
+        assert exp.column("a") == [1.0, 3.0]
+        assert exp.column("b") == [2.5, None]
+        assert exp.row("row2").get("a") == 3.0
+
+    def test_missing_row_raises(self):
+        with pytest.raises(KeyError):
+            sample().row("nope")
+
+    def test_render_contains_everything(self):
+        out = sample().render()
+        assert "Table X" in out and "demo" in out
+        assert "row1" in out and "2.50" in out
+        assert "a note" in out
+        # missing values render as '-'
+        assert "-" in out
+
+    def test_render_custom_float_format(self):
+        out = sample().render(float_fmt="{:.0f}")
+        assert "2" in out and "2.50" not in out
+
+    def test_row_get_default(self):
+        row = Row("x", {"k": 1})
+        assert row.get("missing", 42) == 42
+
+    def test_str_is_render(self):
+        exp = sample()
+        assert str(exp) == exp.render()
+
+
+class TestRunnerRegistry:
+    def test_all_experiments_registered(self):
+        from repro.bench.cli import EXPERIMENTS
+
+        expected = {"fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7",
+                    "fig8", "table1", "table2", "table2mem", "table3"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_cli_rejects_unknown(self, capsys):
+        from repro.bench.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_cli_runs_one_experiment(self, capsys):
+        from repro.bench.cli import main
+
+        assert main(["fig1"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out and "took" in out

@@ -1,0 +1,79 @@
+"""Unit tests for MemoryRegion access semantics (NIC protection checks)."""
+
+import numpy as np
+import pytest
+
+from repro.memory import MemoryRegion, RegionState
+
+
+def test_fresh_region_is_zeroed():
+    region = MemoryRegion(64)
+    assert region.nbytes == 64
+    assert not region.data.any()
+    assert region.state is RegionState.REGISTERED
+
+
+def test_negative_size_rejected():
+    with pytest.raises(ValueError):
+        MemoryRegion(-1)
+
+
+def test_write_then_read_roundtrip():
+    region = MemoryRegion(128, protection_tag=7)
+    payload = np.arange(32, dtype=np.uint8)
+    region.write(10, payload, protection_tag=7)
+    out = region.read(10, 32, protection_tag=7)
+    assert np.array_equal(out, payload)
+
+
+def test_read_returns_copy():
+    region = MemoryRegion(16)
+    out = region.read(0, 8, protection_tag=0)
+    out[:] = 255
+    assert not region.data[:8].any()
+
+
+def test_protection_tag_mismatch_rejected():
+    region = MemoryRegion(16, protection_tag=3)
+    with pytest.raises(PermissionError, match="protection tag"):
+        region.read(0, 4, protection_tag=4)
+    with pytest.raises(PermissionError):
+        region.write(0, np.zeros(4, dtype=np.uint8), protection_tag=0)
+
+
+def test_out_of_bounds_access_rejected():
+    region = MemoryRegion(16)
+    with pytest.raises(IndexError):
+        region.read(10, 8, protection_tag=0)
+    with pytest.raises(IndexError):
+        region.write(15, np.zeros(2, dtype=np.uint8), protection_tag=0)
+    with pytest.raises(IndexError):
+        region.read(-1, 2, protection_tag=0)
+
+
+def test_access_after_deregistration_rejected():
+    region = MemoryRegion(16)
+    region.state = RegionState.DEREGISTERED
+    with pytest.raises(PermissionError, match="deregistered"):
+        region.read(0, 1, protection_tag=0)
+
+
+def test_backing_array_is_zero_copy():
+    backing = np.zeros(32, dtype=np.uint8)
+    region = MemoryRegion(32, backing=backing)
+    region.write(0, np.full(4, 9, dtype=np.uint8), protection_tag=0)
+    assert backing[0] == 9  # write visible through original array
+
+
+def test_backing_array_must_match_size_and_dtype():
+    with pytest.raises(ValueError):
+        MemoryRegion(16, backing=np.zeros(8, dtype=np.uint8))
+    with pytest.raises(TypeError):
+        MemoryRegion(16, backing=np.zeros(16, dtype=np.float32))
+    with pytest.raises(TypeError):
+        MemoryRegion(16, backing=np.zeros((4, 4), dtype=np.uint8))
+
+
+def test_handles_are_unique():
+    handles = {MemoryRegion(1).handle for _ in range(100)}
+    assert len(handles) == 100

@@ -1,0 +1,131 @@
+"""Metrics-layer tests and whole-job determinism checks."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, run_job
+from repro.metrics.resources import ProcessResources, ResourceReport
+from repro.mpi import MpiConfig
+from repro.apps.npb import KERNELS
+from repro.sim import Engine
+from repro.sim.trace import TraceRecorder
+
+from tests.mpi_rig import run
+
+
+def proc(rank=0, created=4, used=2, conns=4, pinned=480_000,
+         per_vi=120_000, dests=2):
+    return ProcessResources(
+        rank=rank, vis_created=created, vis_used=used, connections=conns,
+        pinned_peak_bytes=pinned, pinned_per_vi_bytes=per_vi,
+        distinct_destinations=dests, unexpected_max_depth=0,
+        device_checks=10, blocking_waits=0,
+    )
+
+
+class TestProcessResources:
+    def test_utilization(self):
+        assert proc(created=4, used=2).utilization == 0.5
+        assert proc(created=0, used=0).utilization == 1.0
+
+    def test_unused_pinned(self):
+        p = proc(created=5, used=2, per_vi=100)
+        assert p.unused_pinned_bytes == 300
+
+
+class TestResourceReport:
+    def test_aggregations(self):
+        report = ResourceReport(per_process=[
+            proc(rank=0, created=4, used=4, dests=4),
+            proc(rank=1, created=2, used=1, dests=1),
+        ])
+        assert report.nprocs == 2
+        assert report.avg_vis == 3.0
+        assert report.avg_vis_used == 2.5
+        assert report.utilization == pytest.approx((1.0 + 0.5) / 2)
+        assert report.avg_distinct_destinations == 2.5
+        assert report.total_connections == 8
+
+    def test_empty_report(self):
+        report = ResourceReport()
+        assert report.utilization == 1.0
+        assert report.avg_vis == 0.0
+
+
+class TestEndToEndAccounting:
+    def test_connection_counts_symmetric(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.array([1.0]), 1)
+            elif mpi.rank == 1:
+                buf = np.empty(1)
+                yield from mpi.recv(buf, source=0)
+            else:
+                yield from mpi.compute(1.0)
+
+        res = run(prog, nprocs=4, connection="ondemand")
+        per = {p.rank: p for p in res.resources.per_process}
+        assert per[0].connections == 1
+        assert per[1].connections == 1
+        assert per[2].connections == 0
+        assert per[3].connections == 0
+
+    def test_self_messages_count_as_destination(self):
+        def prog(mpi):
+            req = mpi.isend(np.array([1.0]), mpi.rank)
+            buf = np.empty(1)
+            yield from mpi.recv(buf, source=mpi.rank)
+            yield from mpi.wait(req)
+
+        res = run(prog, nprocs=2)
+        assert res.resources.avg_distinct_destinations == 1.0
+        assert res.resources.avg_vis == 0.0  # no VIA involved
+
+    def test_pinned_accounting_closed_after_finalize(self):
+        captured = {}
+
+        def prog(mpi):
+            captured[mpi.rank] = mpi
+            yield from mpi.barrier()
+
+        run(prog, nprocs=4, connection="static-p2p")
+        for mpi in captured.values():
+            registry = mpi._adi.provider.registry
+            # finalize tears down every VI and the dreg cache
+            assert registry.stats.pinned_bytes == 0
+            assert registry.live_region_count == 0
+
+
+class TestDeterminism:
+    def test_npb_cg_bitwise_reproducible(self):
+        spec = ClusterSpec(nodes=8, ppn=2, seed=5)
+        r1 = run_job(spec, 8, KERNELS["cg"]("S"), MpiConfig())
+        r2 = run_job(spec, 8, KERNELS["cg"]("S"), MpiConfig())
+        assert r1.returns[0].time_us == r2.returns[0].time_us
+        assert r1.returns[0].verification == r2.returns[0].verification
+        assert r1.events_processed == r2.events_processed
+
+    def test_different_seed_different_timing_same_answer(self):
+        r1 = run_job(ClusterSpec(nodes=8, ppn=2, seed=1), 8,
+                     KERNELS["cg"]("S"), MpiConfig())
+        r2 = run_job(ClusterSpec(nodes=8, ppn=2, seed=2), 8,
+                     KERNELS["cg"]("S"), MpiConfig())
+        # OS-noise jitter changes timing ...
+        assert r1.returns[0].time_us != r2.returns[0].time_us
+        # ... but never numerics
+        assert r1.returns[0].verification == r2.returns[0].verification
+
+    def test_trace_fingerprint_stable(self):
+        def prog(mpi):
+            yield from mpi.barrier()
+            out = np.empty(1)
+            yield from mpi.allreduce(np.array([1.0]), out)
+
+        prints = []
+        for _ in range(2):
+            tr = TraceRecorder()
+            eng = Engine(trace=tr)
+            run_job(ClusterSpec(nodes=4, ppn=1, seed=9), 4, prog,
+                    MpiConfig(), engine=eng)
+            prints.append(tr.fingerprint())
+        assert prints[0] == prints[1]

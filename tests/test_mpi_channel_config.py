@@ -1,0 +1,149 @@
+"""Unit tests for Channel (flow control, FIFO priority) and MpiConfig."""
+
+import numpy as np
+import pytest
+
+from repro.mpi.channel import Channel, ChannelState, PendingSend
+from repro.mpi.config import MpiConfig
+from repro.mpi.headers import CreditHeader, CtsHeader, EagerHeader, RtsHeader
+
+
+def make_channel(credits=4, threshold=2, window=2) -> Channel:
+    ch = Channel(dest=1, data_credits=credits, explicit_threshold=threshold,
+                 rndv_window=window)
+    ch.state = ChannelState.CONNECTED
+    return ch
+
+
+def eager(seq=0, **kw):
+    return EagerHeader(src_rank=0, seq=seq, **kw)
+
+
+class TestChannelPosting:
+    def test_unconnected_channel_posts_nothing(self):
+        ch = make_channel()
+        ch.state = ChannelState.UNOPENED
+        ch.send_fifo.append(PendingSend(eager(), None, None))
+        assert ch.next_postable() is None
+        ch.state = ChannelState.CONNECTING
+        assert ch.next_postable() is None
+
+    def test_fifo_order(self):
+        ch = make_channel()
+        a = PendingSend(eager(0), None, None)
+        b = PendingSend(eager(1), None, None)
+        ch.send_fifo.extend([a, b])
+        assert ch.next_postable() is a
+        ch.pop_postable(a)
+        assert ch.next_postable() is b
+
+    def test_control_has_priority(self):
+        ch = make_channel()
+        env = PendingSend(eager(), None, None)
+        ctl = PendingSend(CtsHeader(src_rank=0), None, None)
+        ch.send_fifo.append(env)
+        ch.control_queue.append(ctl)
+        assert ch.next_postable() is ctl
+
+    def test_credit_exhaustion_blocks_envelopes_and_control(self):
+        ch = make_channel(credits=1)
+        ch.consume_credit_for(eager())
+        assert ch.credits == 0
+        ch.send_fifo.append(PendingSend(eager(), None, None))
+        assert ch.next_postable() is None
+        ch.control_queue.append(PendingSend(CtsHeader(src_rank=0), None, None))
+        assert ch.next_postable() is None
+
+    def test_explicit_credit_bypasses_credits(self):
+        ch = make_channel(credits=1)
+        ch.consume_credit_for(eager())
+        item = PendingSend(CreditHeader(src_rank=0), None, None)
+        ch.control_queue.append(item)
+        assert ch.next_postable() is item
+        ch.consume_credit_for(item.header)  # must not underflow
+        assert ch.credits == 0
+
+    def test_rndv_window_limits_rts(self):
+        ch = make_channel(window=1)
+        rts = PendingSend(RtsHeader(src_rank=0), None, None, is_rts=True)
+        ch.send_fifo.append(rts)
+        assert ch.next_postable() is rts
+        ch.rndv_outstanding = 1
+        assert ch.next_postable() is None
+
+    def test_pop_non_head_rejected(self):
+        ch = make_channel()
+        a = PendingSend(eager(0), None, None)
+        b = PendingSend(eager(1), None, None)
+        ch.send_fifo.extend([a, b])
+        with pytest.raises(RuntimeError):
+            ch.pop_postable(b)
+
+
+class TestChannelCredits:
+    def test_piggyback_drains_returns(self):
+        ch = make_channel()
+        ch.add_return_credit()
+        ch.add_return_credit()
+        assert ch.take_piggyback() == 2
+        assert ch.take_piggyback() == 0
+
+    def test_received_piggyback_restores_credits(self):
+        ch = make_channel(credits=2)
+        ch.consume_credit_for(eager())
+        ch.on_header_received(EagerHeader(src_rank=1, piggyback_credits=1))
+        assert ch.credits == 2
+
+    def test_explicit_threshold_logic(self):
+        ch = make_channel(threshold=2)
+        assert not ch.should_send_explicit_credits()
+        ch.add_return_credit()
+        ch.add_return_credit()
+        assert ch.should_send_explicit_credits()
+        # pending outbound traffic suppresses explicit updates
+        ch.send_fifo.append(PendingSend(eager(), None, None))
+        assert not ch.should_send_explicit_credits()
+
+    def test_sequencing_detects_violation(self):
+        ch = make_channel()
+        h0, h1 = eager(), eager()
+        ch.stamp_envelope(h0)
+        ch.stamp_envelope(h1)
+        assert (h0.seq, h1.seq) == (0, 1)
+        ch.check_envelope_order(0)
+        with pytest.raises(RuntimeError, match="ordering"):
+            ch.check_envelope_order(5)
+
+    def test_used_reflects_traffic(self):
+        ch = make_channel()
+        assert not ch.used
+        ch.messages_sent = 1
+        assert ch.used
+
+
+class TestMpiConfig:
+    def test_defaults_give_paper_memory_footprint(self):
+        cfg = MpiConfig()
+        # 18 recv + 6 send buffers x 5000 B = the paper's 120 kB per VI
+        assert cfg.prepost_count == 18
+        assert (cfg.prepost_count + cfg.send_pool_count) * cfg.eager_threshold \
+            == 120_000
+
+    @pytest.mark.parametrize("bad", [
+        dict(connection="lazy"),
+        dict(completion="busywait"),
+        dict(eager_threshold=-1),
+        dict(spincount=0),
+        dict(data_credits=0),
+        dict(control_reserve=0),
+        dict(rndv_window=0),
+        dict(send_pool_count=0),
+    ])
+    def test_invalid_configs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            MpiConfig(**bad)
+
+    def test_frozen(self):
+        cfg = MpiConfig()
+        with pytest.raises(AttributeError):
+            cfg.connection = "static-p2p"  # type: ignore[misc]

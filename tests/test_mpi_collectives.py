@@ -1,0 +1,266 @@
+"""Collective correctness against numpy references."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM
+
+from tests.mpi_rig import run
+
+SIZES = [1, 2, 3, 4, 5, 7, 8, 16]
+
+
+def _input(rank, n=6):
+    rng = np.random.default_rng(1000 + rank)
+    return rng.integers(1, 5, size=n).astype(np.float64)
+
+
+class TestBarrier:
+    @pytest.mark.parametrize("nprocs", SIZES)
+    def test_barrier_synchronizes(self, nprocs):
+        def prog(mpi):
+            # stagger arrivals; everyone must leave after the last arrival
+            yield from mpi.compute(1000.0 * mpi.rank)
+            yield from mpi.barrier()
+            return mpi.wtime()
+
+        res = run(prog, nprocs=nprocs, nodes=8, ppn=4)
+        # nominal last arrival, minus the compute jitter margin (±0.5%)
+        last_arrival = 1000.0 * (nprocs - 1) * 0.99
+        assert all(t >= last_arrival for t in res.returns)
+
+    def test_repeated_barriers(self):
+        def prog(mpi):
+            for _ in range(10):
+                yield from mpi.barrier()
+            return True
+
+        res = run(prog, nprocs=6)
+        assert all(res.returns)
+
+
+class TestBcast:
+    @pytest.mark.parametrize("nprocs", SIZES)
+    @pytest.mark.parametrize("root", [0, "last"])
+    def test_bcast_values(self, nprocs, root):
+        root_rank = nprocs - 1 if root == "last" else 0
+
+        def prog(mpi):
+            buf = np.arange(8.0) * 3 if mpi.rank == root_rank else np.zeros(8)
+            yield from mpi.bcast(buf, root=root_rank)
+            return buf.copy()
+
+        res = run(prog, nprocs=nprocs)
+        for arr in res.returns:
+            assert np.array_equal(arr, np.arange(8.0) * 3)
+
+    def test_bcast_large_payload_rendezvous(self):
+        n = 3000  # 24000 B > eager threshold
+
+        def prog(mpi):
+            buf = np.arange(float(n)) if mpi.rank == 0 else np.zeros(n)
+            yield from mpi.bcast(buf, root=0)
+            return float(buf.sum())
+
+        res = run(prog, nprocs=4)
+        assert all(v == pytest.approx(n * (n - 1) / 2) for v in res.returns)
+
+
+class TestReduceAllreduce:
+    @pytest.mark.parametrize("nprocs", SIZES)
+    @pytest.mark.parametrize("op,ref", [
+        (SUM, np.add), (PROD, np.multiply), (MAX, np.maximum), (MIN, np.minimum),
+    ])
+    def test_allreduce_ops(self, nprocs, op, ref):
+        def prog(mpi):
+            out = np.empty(6)
+            yield from mpi.allreduce(_input(mpi.rank), out, op=op)
+            return out.copy()
+
+        res = run(prog, nprocs=nprocs)
+        expected = _input(0)
+        for r in range(1, nprocs):
+            expected = ref(expected, _input(r))
+        for arr in res.returns:
+            assert np.allclose(arr, expected)
+
+    @pytest.mark.parametrize("nprocs", [2, 5, 8])
+    def test_reduce_to_nonzero_root(self, nprocs):
+        root = nprocs - 1
+
+        def prog(mpi):
+            out = np.empty(6) if mpi.rank == root else None
+            yield from mpi.reduce(_input(mpi.rank), out, op=SUM, root=root)
+            return None if out is None else out.copy()
+
+        res = run(prog, nprocs=nprocs)
+        expected = sum(_input(r) for r in range(nprocs))
+        assert np.allclose(res.returns[root], expected)
+        assert all(res.returns[r] is None for r in range(nprocs) if r != root)
+
+    def test_logical_and_bitwise_ops(self):
+        def prog(mpi):
+            x = np.array([mpi.rank % 2, 1, mpi.rank + 1], dtype=np.int64)
+            out_land = np.empty(3, dtype=np.int64)
+            out_bor = np.empty(3, dtype=np.int64)
+            yield from mpi.allreduce(x, out_land, op=LAND)
+            yield from mpi.allreduce(x, out_bor, op=BOR)
+            return out_land.copy(), out_bor.copy()
+
+        res = run(prog, nprocs=4)
+        land, bor = res.returns[0]
+        assert list(land) == [0, 1, 1]
+        assert list(bor) == [0 | 1 | 0 | 1, 1, 1 | 2 | 3 | 4]
+
+
+class TestGatherScatter:
+    @pytest.mark.parametrize("nprocs", [1, 2, 5, 8])
+    def test_gather(self, nprocs):
+        def prog(mpi):
+            mine = np.full(3, float(mpi.rank))
+            recv = np.empty(3 * mpi.size) if mpi.rank == 0 else None
+            yield from mpi.gather(mine, recv, root=0)
+            return None if recv is None else recv.copy()
+
+        res = run(prog, nprocs=nprocs)
+        expected = np.repeat(np.arange(float(nprocs)), 3)
+        assert np.array_equal(res.returns[0], expected)
+
+    @pytest.mark.parametrize("nprocs", [2, 5, 8])
+    def test_scatter(self, nprocs):
+        def prog(mpi):
+            send = (np.arange(2.0 * mpi.size) if mpi.rank == 0 else None)
+            recv = np.empty(2)
+            yield from mpi.scatter(send, recv, root=0)
+            return recv.copy()
+
+        res = run(prog, nprocs=nprocs)
+        for r, arr in enumerate(res.returns):
+            assert np.array_equal(arr, np.array([2.0 * r, 2.0 * r + 1]))
+
+
+class TestAllgatherAlltoall:
+    @pytest.mark.parametrize("nprocs", [1, 2, 4, 8, 16])  # power of two: RD
+    def test_allgather_pow2(self, nprocs):
+        self._check_allgather(nprocs)
+
+    @pytest.mark.parametrize("nprocs", [3, 5, 6, 7])  # ring fallback
+    def test_allgather_ring(self, nprocs):
+        self._check_allgather(nprocs)
+
+    def _check_allgather(self, nprocs):
+        def prog(mpi):
+            mine = np.array([float(mpi.rank), float(mpi.rank) ** 2])
+            recv = np.empty(2 * mpi.size)
+            yield from mpi.allgather(mine, recv)
+            return recv.copy()
+
+        res = run(prog, nprocs=nprocs)
+        expected = np.concatenate(
+            [[float(r), float(r) ** 2] for r in range(nprocs)])
+        for arr in res.returns:
+            assert np.array_equal(arr, expected)
+
+    @pytest.mark.parametrize("nprocs", [2, 3, 4, 8])
+    def test_alltoall(self, nprocs):
+        def prog(mpi):
+            send = np.array(
+                [mpi.rank * 100.0 + d for d in range(mpi.size)])
+            recv = np.empty(mpi.size)
+            yield from mpi.alltoall(send, recv)
+            return recv.copy()
+
+        res = run(prog, nprocs=nprocs)
+        for r, arr in enumerate(res.returns):
+            assert np.array_equal(
+                arr, np.array([s * 100.0 + r for s in range(nprocs)]))
+
+    def test_alltoallv_uneven(self):
+        nprocs = 4
+
+        def prog(mpi):
+            # rank r sends (d+1) elements of value r*10+d to each d
+            counts = [d + 1 for d in range(mpi.size)]
+            displs = np.concatenate([[0], np.cumsum(counts)[:-1]]).tolist()
+            send = np.concatenate(
+                [np.full(d + 1, mpi.rank * 10.0 + d) for d in range(mpi.size)])
+            rcounts = [mpi.rank + 1] * mpi.size
+            rdispls = [s * (mpi.rank + 1) for s in range(mpi.size)]
+            recv = np.empty(sum(rcounts))
+            yield from mpi.alltoallv(send, counts, displs, recv, rcounts, rdispls)
+            return recv.copy()
+
+        res = run(prog, nprocs=nprocs)
+        for r, arr in enumerate(res.returns):
+            expected = np.concatenate(
+                [np.full(r + 1, s * 10.0 + r) for s in range(nprocs)])
+            assert np.array_equal(arr, expected)
+
+    def test_alltoall_rendezvous_blocks(self):
+        nprocs = 4
+        block = 1500  # 12000 B per block -> rendezvous
+
+        def prog(mpi):
+            send = np.concatenate(
+                [np.full(block, mpi.rank * 100.0 + d) for d in range(mpi.size)])
+            recv = np.empty(block * mpi.size)
+            yield from mpi.alltoall(send, recv)
+            return all(
+                (recv[s * block:(s + 1) * block] == s * 100.0 + mpi.rank).all()
+                for s in range(mpi.size))
+
+        res = run(prog, nprocs=nprocs)
+        assert all(res.returns)
+
+
+class TestCommunicators:
+    def test_comm_split_rows(self):
+        def prog(mpi):
+            row = mpi.rank // 2
+            comm = yield from mpi.comm_split(color=row, key=mpi.rank)
+            out = np.empty(1)
+            yield from mpi.allreduce(
+                np.array([float(mpi.rank)]), out, comm=comm)
+            return comm.rank, comm.size, float(out[0])
+
+        res = run(prog, nprocs=6)
+        for r, (crank, csize, total) in enumerate(res.returns):
+            row = r // 2
+            assert csize == 2
+            assert crank == r % 2
+            assert total == float(2 * row + (2 * row + 1))
+
+    def test_comm_split_undefined_color(self):
+        def prog(mpi):
+            color = 0 if mpi.rank < 2 else -1
+            comm = yield from mpi.comm_split(color=color, key=0)
+            if comm is None:
+                return None
+            return comm.size
+
+        res = run(prog, nprocs=4)
+        assert res.returns == [2, 2, None, None]
+
+    def test_comm_dup_isolates_traffic(self):
+        def prog(mpi):
+            dup = yield from mpi.comm_dup()
+            if mpi.rank == 0:
+                # same (dest, tag) on both comms: must not cross-match
+                yield from mpi.send(np.array([1.0]), 1, tag=0, comm=dup)
+                yield from mpi.send(np.array([2.0]), 1, tag=0)
+            elif mpi.rank == 1:
+                a, b = np.empty(1), np.empty(1)
+                yield from mpi.recv(a, source=0, tag=0)            # world
+                yield from mpi.recv(b, source=0, tag=0, comm=dup)  # dup
+                return float(a[0]), float(b[0])
+
+        res = run(prog, nprocs=2)
+        assert res.returns[1] == (2.0, 1.0)
+
+    def test_key_reorders_ranks(self):
+        def prog(mpi):
+            comm = yield from mpi.comm_split(color=0, key=-mpi.rank)
+            return comm.rank
+
+        res = run(prog, nprocs=4)
+        assert res.returns == [3, 2, 1, 0]

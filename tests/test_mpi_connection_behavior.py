@@ -1,0 +1,222 @@
+"""Library-level behaviour the paper claims for connection management."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.via.profiles import BERKELEY, CLAN
+
+from tests.mpi_rig import run
+
+
+def ring_program(mpi, rounds=4):
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    buf = np.empty(4)
+    for _ in range(rounds):
+        yield from mpi.sendrecv(np.full(4, float(mpi.rank)), right, buf, left)
+    return float(buf[0])
+
+
+def barrier_program(mpi, iterations=5):
+    for _ in range(iterations):
+        yield from mpi.barrier()
+
+
+class TestVICounts:
+    """Table 2's mechanism: on-demand creates only what the pattern needs."""
+
+    def test_ring_ondemand_two_vis(self):
+        res = run(ring_program, nprocs=8, connection="ondemand")
+        assert res.resources.avg_vis == 2.0
+        assert res.resources.utilization == 1.0
+
+    def test_ring_static_all_vis(self):
+        res = run(ring_program, nprocs=8, connection="static-p2p")
+        assert res.resources.avg_vis == 7.0
+        assert res.resources.avg_vis_used == 2.0
+        assert res.resources.utilization == pytest.approx(2 / 7)
+
+    def test_barrier_ondemand_log_vis(self):
+        res = run(barrier_program, nprocs=16, connection="ondemand")
+        assert res.resources.avg_vis == 4.0  # log2(16), matches Table 2
+
+    def test_barrier_32_ondemand(self):
+        res = run(barrier_program, nprocs=32, nodes=8, ppn=4,
+                  connection="ondemand")
+        assert res.resources.avg_vis == 5.0  # log2(32), matches Table 2
+
+    def test_alltoall_needs_full_connectivity(self):
+        def prog(mpi):
+            send = np.arange(float(mpi.size))
+            recv = np.empty(mpi.size)
+            yield from mpi.alltoall(send, recv)
+
+        res = run(prog, nprocs=8, connection="ondemand")
+        assert res.resources.avg_vis == 7.0
+        assert res.resources.utilization == 1.0
+
+    def test_pinned_memory_tracks_vis(self):
+        res_od = run(ring_program, nprocs=8, connection="ondemand")
+        res_st = run(ring_program, nprocs=8, connection="static-p2p")
+        per_vi = res_od.resources.per_process[0].pinned_per_vi_bytes
+        assert per_vi == 120_000  # the paper's "120 kB as in MVICH"
+        assert res_od.resources.total_pinned_peak_bytes == 8 * 2 * per_vi
+        assert res_st.resources.total_pinned_peak_bytes == 8 * 7 * per_vi
+        assert res_st.resources.total_unused_pinned_bytes == 8 * 5 * per_vi
+        assert res_od.resources.total_unused_pinned_bytes == 0
+
+
+class TestInitTime:
+    """Figure 8's mechanism: static setup dominates MPI_Init."""
+
+    def test_ondemand_init_is_trivial(self):
+        res = run(barrier_program, nprocs=16, connection="ondemand")
+        assert res.avg_init_time_us < 10.0
+
+    def test_static_init_scales_with_procs(self):
+        t8 = run(barrier_program, nprocs=8, connection="static-p2p")
+        t16 = run(barrier_program, nprocs=16, connection="static-p2p")
+        assert t16.avg_init_time_us > t8.avg_init_time_us > 100.0
+
+    def test_client_server_slower_than_p2p(self):
+        cs = run(barrier_program, nprocs=16, connection="static-cs")
+        p2p = run(barrier_program, nprocs=16, connection="static-p2p")
+        od = run(barrier_program, nprocs=16, connection="ondemand")
+        assert cs.avg_init_time_us > p2p.avg_init_time_us > od.avg_init_time_us
+
+    def test_client_server_grows_superlinearly(self):
+        t4 = run(barrier_program, nprocs=4, connection="static-cs")
+        t16 = run(barrier_program, nprocs=16, connection="static-cs")
+        # 4x the processes should cost much more than 4x the init time
+        assert t16.avg_init_time_us > 4 * t4.avg_init_time_us
+
+
+class TestCompletionModes:
+    """§5.3–5.4: spinwait pays wakeup penalties under skewed arrivals."""
+
+    def _skewed_barrier(self, completion):
+        def prog(mpi):
+            # skew arrivals well beyond the spin window
+            yield from mpi.compute(100.0 * mpi.rank)
+            t0 = mpi.wtime()
+            yield from mpi.barrier()
+            return mpi.wtime() - t0
+
+        return run(prog, nprocs=8, nodes=8, ppn=1,
+                   connection="static-p2p", completion=completion)
+
+    def test_spinwait_slower_than_polling_on_clan(self):
+        polling = self._skewed_barrier("polling")
+        spinwait = self._skewed_barrier("spinwait")
+        assert max(spinwait.returns) > max(polling.returns) + 30.0
+        assert sum(p.blocking_waits for p in
+                   spinwait.resources.per_process) > 0
+        assert sum(p.blocking_waits for p in
+                   polling.resources.per_process) == 0
+
+    def test_fast_pingpong_spinwait_equals_polling(self):
+        """Figure 2: in tight latency tests every request completes in
+        the spin window, so spinwait == polling."""
+        def prog(mpi):
+            buf = np.empty(1)
+            other = 1 - mpi.rank
+            for _ in range(10):
+                if mpi.rank == 0:
+                    yield from mpi.send(np.array([1.0]), other)
+                    yield from mpi.recv(buf, source=other)
+                else:
+                    yield from mpi.recv(buf, source=other)
+                    yield from mpi.send(np.array([1.0]), other)
+            return mpi.wtime()
+
+        t_poll = run(prog, nprocs=2, connection="static-p2p",
+                     completion="polling").returns[0]
+        t_spin = run(prog, nprocs=2, connection="static-p2p",
+                     completion="spinwait").returns[0]
+        assert t_spin == pytest.approx(t_poll, rel=0.02)
+
+    def test_spinwait_degenerates_to_polling_on_berkeley(self):
+        def prog(mpi):
+            yield from mpi.compute(100.0 * mpi.rank)
+            yield from mpi.barrier()
+
+        spin = run(prog, nprocs=8, nodes=8, ppn=1, profile=BERKELEY,
+                   connection="static-p2p", completion="spinwait")
+        assert sum(p.blocking_waits for p in spin.resources.per_process) == 0
+
+
+class TestBerkeleyViPenalty:
+    """§5.2/§5.4: fewer VIs -> faster Berkeley VIA."""
+
+    def test_ondemand_barrier_faster_than_static_on_bvia(self):
+        def prog(mpi):
+            yield from mpi.barrier()  # warm up connections
+            t0 = mpi.wtime()
+            for _ in range(50):
+                yield from mpi.barrier()
+            return (mpi.wtime() - t0) / 50
+
+        od = run(prog, nprocs=8, nodes=8, ppn=1, profile=BERKELEY,
+                 connection="ondemand")
+        st = run(prog, nprocs=8, nodes=8, ppn=1, profile=BERKELEY,
+                 connection="static-p2p")
+        assert od.returns[0] < st.returns[0]
+        assert od.resources.avg_vis == 3.0  # log2(8)
+        assert st.resources.avg_vis == 7.0
+
+    def test_clan_barrier_insensitive_to_manager(self):
+        def prog(mpi):
+            yield from mpi.barrier()
+            t0 = mpi.wtime()
+            for _ in range(50):
+                yield from mpi.barrier()
+            return (mpi.wtime() - t0) / 50
+
+        od = run(prog, nprocs=8, nodes=8, ppn=1, profile=CLAN,
+                 connection="ondemand")
+        st = run(prog, nprocs=8, nodes=8, ppn=1, profile=CLAN,
+                 connection="static-p2p")
+        assert od.returns[0] == pytest.approx(st.returns[0], rel=0.05)
+
+
+class TestDeterminismAndFailure:
+    def test_same_seed_same_event_count(self):
+        r1 = run(ring_program, nprocs=8, seed=3)
+        r2 = run(ring_program, nprocs=8, seed=3)
+        assert r1.events_processed == r2.events_processed
+        assert r1.total_time_us == r2.total_time_us
+
+    def test_flow_control_violation_detected(self):
+        """Failure injection: forging extra credits overruns the
+        pre-posted descriptors and the NIC drops messages."""
+        from repro.cluster.job import JobError
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.array([0.0]), 1)  # open channel
+                ch = mpi._adi.channels[1]
+                ch.credits += 100  # sabotage
+                reqs = [mpi.isend(np.array([float(i)]), 1)
+                        for i in range(40)]
+                yield from mpi.waitall(reqs)
+                yield from mpi.compute(50_000)
+            else:
+                buf = np.empty(1)
+                yield from mpi.recv(buf, source=0)
+                yield from mpi.compute(50_000)  # don't drain: overrun
+
+        with pytest.raises(JobError, match="dropped|deadlocked"):
+            run(prog, nprocs=2)
+
+    def test_berkeley_rejects_multiple_procs_per_node(self):
+        with pytest.raises(ValueError, match="one process per node"):
+            run(barrier_program, nprocs=8, nodes=4, ppn=2, profile=BERKELEY)
+
+    def test_berkeley_rejects_client_server(self):
+        from repro.cluster.job import JobError
+
+        with pytest.raises(JobError, match="client/server"):
+            run(barrier_program, nprocs=4, nodes=4, ppn=1,
+                profile=BERKELEY, connection="static-cs")

@@ -1,0 +1,356 @@
+"""Point-to-point MPI semantics across connection managers."""
+
+import numpy as np
+import pytest
+
+from repro.mpi import ANY_SOURCE, ANY_TAG, PROC_NULL, MpiError
+from repro.mpi.constants import SendMode
+
+from tests.mpi_rig import ALL_CONNECTIONS, run
+
+
+@pytest.mark.parametrize("connection", ALL_CONNECTIONS)
+class TestBasicSendRecv:
+    def test_typed_payload_roundtrip(self, connection):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.arange(100, dtype=np.float64), 1, tag=3)
+                return None
+            buf = np.empty(100, dtype=np.float64)
+            status = yield from mpi.recv(buf, source=0, tag=3)
+            assert status.source == 0 and status.tag == 3
+            assert status.nbytes == 800
+            return buf.copy()
+
+        res = run(prog, nprocs=2, connection=connection)
+        assert np.array_equal(res.returns[1], np.arange(100, dtype=np.float64))
+
+    def test_zero_byte_message(self, connection):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(None, 1, tag=9)
+            else:
+                status = yield from mpi.recv(None, source=0, tag=9)
+                assert status.nbytes == 0
+                return True
+
+        res = run(prog, nprocs=2, connection=connection)
+        assert res.returns[1] is True
+
+    def test_rendezvous_sized_message(self, connection):
+        n = 4000  # floats -> 32000 bytes > 5000 eager threshold
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.arange(n, dtype=np.float64), 1)
+            else:
+                buf = np.zeros(n, dtype=np.float64)
+                yield from mpi.recv(buf, source=0)
+                return float(buf.sum())
+
+        res = run(prog, nprocs=2, connection=connection)
+        assert res.returns[1] == pytest.approx(n * (n - 1) / 2)
+
+
+class TestOrdering:
+    def test_non_overtaking_same_tag(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                for i in range(20):
+                    yield from mpi.send(np.array([i], dtype=np.int64), 1, tag=0)
+            else:
+                seen = []
+                buf = np.empty(1, dtype=np.int64)
+                for _ in range(20):
+                    yield from mpi.recv(buf, source=0, tag=0)
+                    seen.append(int(buf[0]))
+                return seen
+
+        res = run(prog, nprocs=2)
+        assert res.returns[1] == list(range(20))
+
+    def test_non_overtaking_mixed_eager_rendezvous(self):
+        # alternating short and long messages to the same (dest, tag)
+        sizes = [10, 2000, 10, 2000, 10]  # int64 -> 80B .. 16000B
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                for i, n in enumerate(sizes):
+                    yield from mpi.send(
+                        np.full(n, i, dtype=np.int64), 1, tag=7)
+            else:
+                order = []
+                for n in sizes:
+                    buf = np.empty(n, dtype=np.int64)
+                    yield from mpi.recv(buf, source=0, tag=7)
+                    order.append(int(buf[0]))
+                    assert (buf == buf[0]).all()
+                return order
+
+        res = run(prog, nprocs=2)
+        assert res.returns[1] == [0, 1, 2, 3, 4]
+
+    def test_tags_select_messages_out_of_order(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.array([1.0]), 1, tag=1)
+                yield from mpi.send(np.array([2.0]), 1, tag=2)
+            else:
+                a = np.empty(1)
+                b = np.empty(1)
+                # receive tag 2 first even though tag 1 arrived first
+                yield from mpi.recv(b, source=0, tag=2)
+                yield from mpi.recv(a, source=0, tag=1)
+                return float(a[0]), float(b[0])
+
+        res = run(prog, nprocs=2)
+        assert res.returns[1] == (1.0, 2.0)
+
+    def test_pre_posted_sends_flush_in_order_on_connect(self):
+        """Paper §3.4: sends issued before the connection exists must be
+        delivered in order once it is established."""
+        def prog(mpi):
+            if mpi.rank == 0:
+                reqs = [mpi.isend(np.array([i], dtype=np.int64), 1, tag=0)
+                        for i in range(8)]
+                yield from mpi.waitall(reqs)
+            else:
+                # delay so sender queues everything before we connect
+                yield from mpi.compute(5_000)
+                out = []
+                buf = np.empty(1, dtype=np.int64)
+                for _ in range(8):
+                    yield from mpi.recv(buf, source=0, tag=0)
+                    out.append(int(buf[0]))
+                return out
+
+        res = run(prog, nprocs=2, connection="ondemand")
+        assert res.returns[1] == list(range(8))
+
+
+class TestWildcardsAndProbe:
+    def test_any_source_any_tag(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                got = []
+                buf = np.empty(1, dtype=np.int64)
+                for _ in range(3):
+                    status = yield from mpi.recv(buf, source=ANY_SOURCE,
+                                                 tag=ANY_TAG)
+                    got.append((status.source, status.tag, int(buf[0])))
+                return sorted(got)
+            yield from mpi.send(
+                np.array([mpi.rank * 10], dtype=np.int64), 0, tag=mpi.rank)
+
+        res = run(prog, nprocs=4)
+        assert res.returns[0] == [(1, 1, 10), (2, 2, 20), (3, 3, 30)]
+
+    def test_any_source_connects_to_all_ondemand(self):
+        """Paper §3.5: an ANY_SOURCE receive forces connection requests
+        to every process in the communicator."""
+        def prog(mpi):
+            if mpi.rank == 0:
+                buf = np.empty(1, dtype=np.int64)
+                yield from mpi.recv(buf, source=ANY_SOURCE, tag=0)
+            elif mpi.rank == 1:
+                yield from mpi.send(np.array([7], dtype=np.int64), 0, tag=0)
+            else:
+                yield from mpi.compute(1.0)
+
+        res = run(prog, nprocs=6, connection="ondemand")
+        r0 = res.resources.per_process[0]
+        assert r0.vis_created == 5  # connected (or tried) to everyone
+
+    def test_iprobe_sees_unexpected(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.arange(3.0), 1, tag=4)
+            else:
+                status = None
+                while status is None:
+                    status = yield from mpi.iprobe(source=0, tag=4)
+                buf = np.empty(3)
+                yield from mpi.recv(buf, source=0, tag=4)
+                return status.nbytes
+
+        res = run(prog, nprocs=2)
+        assert res.returns[1] == 24
+
+
+class TestModes:
+    def test_ssend_completes_only_after_match(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                t0 = mpi.wtime()
+                yield from mpi.ssend(np.array([1.0]), 1, tag=0)
+                return mpi.wtime() - t0
+            yield from mpi.compute(20_000)
+            buf = np.empty(1)
+            yield from mpi.recv(buf, source=0, tag=0)
+
+        res = run(prog, nprocs=2)
+        assert res.returns[0] >= 20_000 * 0.9  # waited for the match
+
+    def test_standard_eager_completes_before_match(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                t0 = mpi.wtime()
+                yield from mpi.send(np.array([1.0]), 1, tag=0)
+                return mpi.wtime() - t0
+            yield from mpi.compute(20_000)
+            buf = np.empty(1)
+            yield from mpi.recv(buf, source=0, tag=0)
+
+        res = run(prog, nprocs=2, connection="static-p2p")
+        assert res.returns[0] < 5_000  # locally buffered, no match wait
+
+    def test_ondemand_standard_send_waits_for_connection(self):
+        """Paper §4: under on-demand, a short standard send cannot
+        complete until the receiver also decides to communicate."""
+        def prog(mpi):
+            if mpi.rank == 0:
+                t0 = mpi.wtime()
+                yield from mpi.send(np.array([1.0]), 1, tag=0)
+                return mpi.wtime() - t0
+            yield from mpi.compute(20_000)
+            buf = np.empty(1)
+            yield from mpi.recv(buf, source=0, tag=0)
+
+        res = run(prog, nprocs=2, connection="ondemand")
+        assert res.returns[0] >= 20_000 * 0.9
+
+    def test_bsend_is_local_even_ondemand(self):
+        def prog(mpi):
+            if mpi.rank == 0:
+                t0 = mpi.wtime()
+                yield from mpi.bsend(np.array([1.0]), 1, tag=0)
+                return mpi.wtime() - t0
+            yield from mpi.compute(20_000)
+            buf = np.empty(1)
+            yield from mpi.recv(buf, source=0, tag=0)
+
+        res = run(prog, nprocs=2, connection="ondemand")
+        assert res.returns[0] < 5_000
+
+    def test_bsend_payload_snapshot(self):
+        """Buffered send must capture the data at call time."""
+        def prog(mpi):
+            if mpi.rank == 0:
+                data = np.array([42.0])
+                yield from mpi.bsend(data, 1, tag=0)
+                data[0] = -1.0  # mutate after local completion
+                yield from mpi.barrier()
+            else:
+                yield from mpi.compute(10_000)
+                buf = np.empty(1)
+                yield from mpi.recv(buf, source=0, tag=0)
+                yield from mpi.barrier()
+                return float(buf[0])
+
+        res = run(prog, nprocs=2, connection="static-p2p")
+        assert res.returns[1] == 42.0
+
+
+class TestEdgeCases:
+    def test_proc_null(self):
+        def prog(mpi):
+            yield from mpi.send(np.array([1.0]), PROC_NULL)
+            status = yield from mpi.recv(np.empty(1), source=PROC_NULL)
+            return status.source
+
+        res = run(prog, nprocs=1, nodes=1, ppn=1)
+        assert res.returns[0] == PROC_NULL
+
+    def test_send_to_self(self):
+        def prog(mpi):
+            req = mpi.isend(np.array([3.5, 4.5]), mpi.rank, tag=1)
+            buf = np.empty(2)
+            yield from mpi.recv(buf, source=mpi.rank, tag=1)
+            yield from mpi.wait(req)
+            return buf.tolist()
+
+        res = run(prog, nprocs=2)
+        assert res.returns[0] == [3.5, 4.5]
+        assert res.returns[1] == [3.5, 4.5]
+
+    def test_truncation_is_error(self):
+        from repro.cluster.job import JobError
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                yield from mpi.send(np.arange(10.0), 1, tag=0)
+            else:
+                buf = np.empty(2)  # too small
+                yield from mpi.recv(buf, source=0, tag=0)
+
+        with pytest.raises(JobError, match="truncation"):
+            run(prog, nprocs=2)
+
+    def test_invalid_rank_rejected(self):
+        from repro.cluster.job import JobError
+
+        def prog(mpi):
+            yield from mpi.send(np.array([1.0]), 99)
+
+        with pytest.raises(JobError, match="rank"):
+            run(prog, nprocs=2)
+
+    def test_invalid_tag_rejected(self):
+        from repro.cluster.job import JobError
+
+        def prog(mpi):
+            yield from mpi.send(np.array([1.0]), 0, tag=-5)
+
+        with pytest.raises(JobError, match="tag"):
+            run(prog, nprocs=2)
+
+    def test_sendrecv_exchange(self):
+        def prog(mpi):
+            partner = 1 - mpi.rank
+            out = np.array([float(mpi.rank)])
+            inbox = np.empty(1)
+            yield from mpi.sendrecv(out, partner, inbox, partner)
+            return float(inbox[0])
+
+        res = run(prog, nprocs=2)
+        assert res.returns == [1.0, 0.0]
+
+    def test_many_small_messages_flow_control(self):
+        """More messages in flight than credits: flow control must
+        throttle without drops or deadlock."""
+        n = 200
+
+        def prog(mpi):
+            if mpi.rank == 0:
+                reqs = [mpi.isend(np.array([i], dtype=np.int64), 1, tag=0)
+                        for i in range(n)]
+                yield from mpi.waitall(reqs)
+            else:
+                yield from mpi.compute(3_000)  # let them pile up
+                buf = np.empty(1, dtype=np.int64)
+                acc = 0
+                for _ in range(n):
+                    yield from mpi.recv(buf, source=0, tag=0)
+                    acc += int(buf[0])
+                return acc
+
+        res = run(prog, nprocs=2)
+        assert res.returns[1] == n * (n - 1) // 2
+        assert res.dropped_messages == 0
+
+    def test_bidirectional_flood(self):
+        n = 100
+
+        def prog(mpi):
+            partner = 1 - mpi.rank
+            reqs = [mpi.isend(np.array([i], dtype=np.int64), partner, tag=0)
+                    for i in range(n)]
+            buf = np.empty(1, dtype=np.int64)
+            acc = 0
+            for _ in range(n):
+                yield from mpi.recv(buf, source=partner, tag=0)
+                acc += int(buf[0])
+            yield from mpi.waitall(reqs)
+            return acc
+
+        res = run(prog, nprocs=2)
+        assert res.returns == [n * (n - 1) // 2] * 2

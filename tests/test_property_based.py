@@ -1,0 +1,217 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.memory import MemoryRegistry, RegistrationCache
+from repro.mpi import MAX, MIN, PROD, SUM
+from repro.mpi.communicator import split_groups
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+from repro.mpi.matching import MatchingEngine, UnexpectedMessage
+from repro.mpi.request import Request, RequestKind
+
+from tests.mpi_rig import run
+
+SIM_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+# ---------------------------------------------------------------- matching --
+def _recv(src, tag, ctx=0):
+    return Request(RequestKind.RECV, ctx, src, tag, None, 0)
+
+
+def _msg(src, tag, seq, ctx=0):
+    return UnexpectedMessage(
+        src_rank=src, context_id=ctx, tag=tag, nbytes=0, seq=seq,
+        data=None, is_rts=False,
+    )
+
+
+@given(
+    ops=st.lists(
+        st.tuples(
+            st.sampled_from(["post", "arrive"]),
+            st.integers(0, 2),            # src
+            st.integers(0, 2),            # tag
+            st.booleans(),                # wildcard src (posts only)
+            st.booleans(),                # wildcard tag (posts only)
+        ),
+        min_size=1, max_size=60,
+    )
+)
+@settings(max_examples=200, deadline=None)
+def test_matching_non_overtaking(ops):
+    """For any interleaving of posts and arrivals, two messages with the
+    same (src, tag) are matched in arrival order."""
+    eng = MatchingEngine()
+    seq_counter = 0
+    #: delivered (src, tag, seq) triples in match order
+    delivered = []
+
+    for kind, src, tag, wsrc, wtag in ops:
+        if kind == "post":
+            req = _recv(ANY_SOURCE if wsrc else src, ANY_TAG if wtag else tag)
+            msg = eng.match_posted_recv(req)
+            if msg is not None:
+                delivered.append((msg.src_rank, msg.tag, msg.seq))
+            else:
+                eng.add_posted(req)
+        else:
+            msg = _msg(src, tag, seq_counter)
+            seq_counter += 1
+            req = eng.match_arrival(src, 0, tag)
+            if req is not None:
+                delivered.append((src, tag, msg.seq))
+            else:
+                eng.add_unexpected(msg)
+
+    # per (src, tag): delivered seqs strictly increase
+    per_pair = {}
+    for src, tag, seq in delivered:
+        per_pair.setdefault((src, tag), []).append(seq)
+    for seqs in per_pair.values():
+        assert seqs == sorted(seqs)
+
+
+@given(
+    arrivals=st.lists(st.tuples(st.integers(0, 3), st.integers(0, 3)),
+                      min_size=1, max_size=30)
+)
+@settings(max_examples=100, deadline=None)
+def test_matching_wildcard_takes_oldest(arrivals):
+    """An ANY_SOURCE/ANY_TAG receive always gets the oldest unexpected."""
+    eng = MatchingEngine()
+    for i, (src, tag) in enumerate(arrivals):
+        eng.add_unexpected(_msg(src, tag, i))
+    req = _recv(ANY_SOURCE, ANY_TAG)
+    msg = eng.match_posted_recv(req)
+    assert msg is not None and msg.seq == 0
+
+
+# ---------------------------------------------------------------- dreg cache --
+@given(
+    sizes=st.lists(st.integers(1, 50_000), min_size=1, max_size=30),
+    capacity=st.integers(10_000, 200_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_dreg_cache_bounded(sizes, capacity):
+    registry = MemoryRegistry()
+    cache = RegistrationCache(registry, capacity_bytes=capacity)
+    buffers = [np.zeros(s, dtype=np.uint8) for s in sizes]
+    for buf in buffers + buffers:
+        cache.acquire(buf)
+        # capacity may be exceeded only by a single over-sized buffer
+        assert cache.cached_bytes <= max(capacity, buf.nbytes)
+    # pinned bytes equal live cached bytes
+    assert registry.stats.pinned_bytes == cache.cached_bytes
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_dreg_repeat_acquire_is_free(data):
+    registry = MemoryRegistry()
+    cache = RegistrationCache(registry)
+    n = data.draw(st.integers(1, 10_000))
+    buf = np.zeros(n, dtype=np.uint8)
+    _, first = cache.acquire(buf)
+    _, second = cache.acquire(buf)
+    assert first > 0 and second == 0.0
+
+
+# -------------------------------------------------------------- split groups --
+@given(
+    colors_keys=st.lists(
+        st.tuples(st.integers(-1, 3), st.integers(-5, 5)),
+        min_size=1, max_size=20,
+    )
+)
+@settings(max_examples=100, deadline=None)
+def test_split_groups_partition(colors_keys):
+    groups = split_groups(colors_keys)
+    seen = [w for members in groups.values() for w in members]
+    expected = [w for w, (c, _k) in enumerate(colors_keys) if c >= 0]
+    assert sorted(seen) == sorted(expected)
+    for color, members in groups.items():
+        keys = [colors_keys[w][1] for w in members]
+        assert keys == sorted(keys)  # ordered by key
+        assert all(colors_keys[w][0] == color for w in members)
+
+
+# ------------------------------------------------------------- end-to-end sim --
+@given(
+    sizes=st.lists(st.integers(0, 2000), min_size=1, max_size=8),
+    seed=st.integers(0, 2**16),
+)
+@SIM_SETTINGS
+def test_message_stream_integrity(sizes, seed):
+    """Random mixed eager/rendezvous streams arrive intact and in order
+    (element counts of 0..2000 float64 cross the 5000-byte threshold)."""
+    rng = np.random.default_rng(seed)
+    payloads = [rng.standard_normal(n) for n in sizes]
+
+    def prog(mpi):
+        if mpi.rank == 0:
+            for p in payloads:
+                yield from mpi.send(p if p.size else None, 1, tag=1)
+        else:
+            out = []
+            for p in payloads:
+                buf = np.empty(p.size)
+                yield from mpi.recv(buf, source=0, tag=1)
+                out.append(buf.copy())
+            return out
+
+    res = run(prog, nprocs=2)
+    for sent, got in zip(payloads, res.returns[1]):
+        assert np.array_equal(sent, got)
+
+
+@given(
+    n=st.integers(1, 12),
+    nprocs=st.sampled_from([2, 3, 4, 5, 8]),
+    op_ref=st.sampled_from([(SUM, np.add), (PROD, np.multiply),
+                            (MAX, np.maximum), (MIN, np.minimum)]),
+    seed=st.integers(0, 2**16),
+)
+@SIM_SETTINGS
+def test_allreduce_matches_numpy(n, nprocs, op_ref, seed):
+    op, ref = op_ref
+    rng = np.random.default_rng(seed)
+    inputs = [rng.integers(1, 4, n).astype(float) for _ in range(nprocs)]
+
+    def prog(mpi):
+        out = np.empty(n)
+        yield from mpi.allreduce(inputs[mpi.rank], out, op=op)
+        return out.copy()
+
+    res = run(prog, nprocs=nprocs)
+    expected = inputs[0]
+    for arr in inputs[1:]:
+        expected = ref(expected, arr)
+    for got in res.returns:
+        assert np.allclose(got, expected)
+
+
+@given(
+    perm_seed=st.integers(0, 2**16),
+    nprocs=st.sampled_from([2, 4, 8]),
+)
+@SIM_SETTINGS
+def test_alltoall_is_transpose(perm_seed, nprocs):
+    rng = np.random.default_rng(perm_seed)
+    matrix = rng.standard_normal((nprocs, nprocs))
+
+    def prog(mpi):
+        recv = np.empty(nprocs)
+        yield from mpi.alltoall(np.ascontiguousarray(matrix[mpi.rank]), recv)
+        return recv.copy()
+
+    res = run(prog, nprocs=nprocs)
+    for r, row in enumerate(res.returns):
+        assert np.allclose(row, matrix[:, r])

@@ -1,0 +1,117 @@
+"""Tests for the any_of combinator and the progressive OOB barrier."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import ClusterSpec, run_job
+from repro.cluster.oob import OobBoard
+from repro.mpi import MpiConfig
+from repro.sim import Engine, Signal, any_of
+
+
+class TestAnyOf:
+    def test_first_event_wins(self):
+        eng = Engine()
+        slow = eng.timeout(100.0, value="slow")
+        quick = eng.timeout(10.0, value="quick")
+        combo = any_of(eng, [slow, quick])
+        got = eng.run_until_event(combo)
+        assert got == "quick"
+        assert eng.now == 10.0
+
+    def test_late_event_absorbed(self):
+        eng = Engine()
+        a = eng.timeout(1.0, value="a")
+        b = eng.timeout(2.0, value="b")
+        combo = any_of(eng, [a, b])
+        eng.run()
+        assert combo.value == "a"  # b fired later and was ignored
+
+    def test_failure_propagates(self):
+        eng = Engine()
+        bad = eng.event()
+        bad.fail(ValueError("boom"), delay=1.0)
+        good = eng.timeout(50.0)
+        combo = any_of(eng, [bad, good])
+        with pytest.raises(ValueError, match="boom"):
+            eng.run_until_event(combo)
+
+    def test_already_processed_event(self):
+        eng = Engine()
+        done = eng.timeout(1.0, value="past")
+        eng.run()
+        combo = any_of(eng, [done, eng.event()])
+        got = eng.run_until_event(combo)
+        assert got == "past"
+
+    def test_with_signals(self):
+        eng = Engine()
+        s1, s2 = Signal(eng, "a"), Signal(eng, "b")
+        woken = []
+
+        def waiter():
+            value = yield any_of(eng, [s1.wait(), s2.wait()])
+            woken.append((value, eng.now))
+
+        eng.process(waiter())
+        eng.schedule(5.0, lambda: s2.fire("two"))
+        eng.schedule(9.0, lambda: s1.fire("one"))
+        eng.run()
+        assert woken == [("two", 5.0)]
+
+
+class TestProgressiveBarrier:
+    def test_services_protocol_while_parked(self):
+        """A rank that reaches finalize early must still answer a peer's
+        disconnect handshake — the scenario that motivated the
+        progressive barrier."""
+
+        def prog(mpi):
+            buf = np.empty(1)
+            if mpi.rank == 0:
+                # talk to everyone, forcing evictions near the end; the
+                # peers will already be in finalize when the disconnect
+                # requests arrive
+                for peer in range(1, mpi.size):
+                    yield from mpi.send(np.array([1.0]), peer)
+                    yield from mpi.recv(buf, source=peer)
+                return True
+            yield from mpi.recv(buf, source=0)
+            yield from mpi.send(buf.copy(), 0)
+
+        res = run_job(ClusterSpec(nodes=4, ppn=2), 6, prog,
+                      MpiConfig(vi_cache_limit=2))
+        assert res.returns[0] is True
+
+    def test_all_ranks_released_together(self):
+        eng = Engine()
+        board = OobBoard(eng, 2)
+
+        class FakeAdi:
+            class provider:
+                pass
+
+            def __init__(self):
+                self.provider = type("P", (), {})()
+                self.provider.activity = Signal(eng, "act")
+                self.checks = 0
+
+            def device_check(self):
+                self.checks += 1
+                yield eng.timeout(0.1)
+                return False
+
+        adis = [FakeAdi(), FakeAdi()]
+        done = []
+
+        def proc(i, delay):
+            yield eng.timeout(delay)
+            yield from board.progressive_barrier("x", adis[i])
+            done.append((i, eng.now))
+
+        eng.process(proc(0, 0.0))
+        eng.process(proc(1, 300.0))
+        eng.run()
+        release = max(t for _i, t in done)
+        assert all(abs(t - release) < 1.0 for _i, t in done)
+        assert adis[0].checks > 0  # the early rank kept progressing

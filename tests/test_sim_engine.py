@@ -1,0 +1,158 @@
+"""Unit tests for the DES engine core (events, clock, heap)."""
+
+import pytest
+
+from repro.sim import Engine, Event, SimulationError
+
+
+def test_clock_starts_at_zero():
+    eng = Engine()
+    assert eng.now == 0.0
+    assert eng.events_processed == 0
+
+
+def test_timeout_advances_clock():
+    eng = Engine()
+    eng.timeout(12.5)
+    eng.run()
+    assert eng.now == 12.5
+    assert eng.events_processed == 1
+
+
+def test_negative_timeout_rejected():
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_events_process_in_time_order():
+    eng = Engine()
+    order = []
+    eng.schedule(30.0, lambda: order.append("c"))
+    eng.schedule(10.0, lambda: order.append("a"))
+    eng.schedule(20.0, lambda: order.append("b"))
+    eng.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_ties_break_by_insertion_order():
+    eng = Engine()
+    order = []
+    for tag in "abcde":
+        eng.schedule(5.0, lambda t=tag: order.append(t))
+    eng.run()
+    assert order == list("abcde")
+
+
+def test_event_value_available_after_processing():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed("payload", delay=3.0)
+    eng.run()
+    assert ev.processed
+    assert ev.ok
+    assert ev.value == "payload"
+
+
+def test_event_value_unavailable_before_trigger():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(SimulationError):
+        _ = ev.value
+
+
+def test_double_trigger_rejected():
+    eng = Engine()
+    ev = eng.event()
+    ev.succeed(1)
+    with pytest.raises(SimulationError):
+        ev.succeed(2)
+    with pytest.raises(SimulationError):
+        ev.fail(RuntimeError("x"))
+
+
+def test_fail_requires_exception_instance():
+    eng = Engine()
+    ev = eng.event()
+    with pytest.raises(TypeError):
+        ev.fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_failed_event_carries_exception():
+    eng = Engine()
+    ev = eng.event()
+    exc = RuntimeError("boom")
+    ev.fail(exc)
+    eng.run()
+    assert not ev.ok
+    assert ev.value is exc
+
+
+def test_callback_after_processing_runs_immediately():
+    eng = Engine()
+    ev = eng.timeout(1.0)
+    eng.run()
+    seen = []
+    ev.add_callback(lambda e: seen.append(e.value))
+    assert seen == [None]
+
+
+def test_run_until_stops_clock_at_limit():
+    eng = Engine()
+    hits = []
+    eng.schedule(10.0, lambda: hits.append(1))
+    eng.schedule(100.0, lambda: hits.append(2))
+    eng.run(until=50.0)
+    assert hits == [1]
+    assert eng.now == 50.0
+
+
+def test_step_on_empty_heap_raises():
+    eng = Engine()
+    with pytest.raises(SimulationError):
+        eng.step()
+
+
+def test_run_until_event_returns_value():
+    eng = Engine()
+    ev = eng.timeout(7.0, value="done")
+    assert eng.run_until_event(ev) == "done"
+    assert eng.now == 7.0
+
+
+def test_run_until_event_detects_deadlock():
+    eng = Engine()
+    ev = eng.event()  # never triggered
+    with pytest.raises(SimulationError, match="deadlock"):
+        eng.run_until_event(ev)
+
+
+def test_run_until_event_propagates_failure():
+    eng = Engine()
+    ev = eng.event()
+    ev.fail(ValueError("nope"), delay=1.0)
+    with pytest.raises(ValueError, match="nope"):
+        eng.run_until_event(ev)
+
+
+def test_nested_scheduling_from_callbacks():
+    eng = Engine()
+    trace = []
+
+    def outer():
+        trace.append(("outer", eng.now))
+        eng.schedule(5.0, inner)
+
+    def inner():
+        trace.append(("inner", eng.now))
+
+    eng.schedule(10.0, outer)
+    eng.run()
+    assert trace == [("outer", 10.0), ("inner", 15.0)]
+
+
+def test_peek_reports_next_event_time():
+    eng = Engine()
+    assert eng.peek() == float("inf")
+    eng.timeout(4.0)
+    assert eng.peek() == 4.0

@@ -1,0 +1,56 @@
+"""A tiny VIA test rig: N nodes, one provider (process) per node.
+
+Shared by the VIA-layer unit tests.  Higher layers use
+:mod:`repro.cluster` instead; this rig deliberately stays below the MPI
+library so tests can drive raw VIP calls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.fabric import Network
+from repro.memory import MemoryRegistry
+from repro.sim import Engine
+from repro.via import CLAN, ConnectionAgent, Nic, ViaProfile, ViaProvider
+from repro.via.provider import ViConfig
+
+
+@dataclass
+class ViaRig:
+    engine: Engine
+    network: Network
+    nics: List[Nic]
+    agents: List[ConnectionAgent]
+    providers: List[ViaProvider]
+    registries: List[MemoryRegistry]
+
+    def connect_pair(self, a: int, b: int):
+        """Create VIs on providers a and b and peer-connect them; returns
+        (vi_a, vi_b) after running the engine to quiescence."""
+        pa, pb = self.providers[a], self.providers[b]
+        vi_a, _ = pa.create_vi(remote_rank=b)
+        vi_b, _ = pb.create_vi(remote_rank=a)
+        pa.connect_peer_request(vi_a, self.nics[b].node_id, b)
+        pb.connect_peer_request(vi_b, self.nics[a].node_id, a)
+        self.engine.run()
+        assert vi_a.is_connected and vi_b.is_connected
+        return vi_a, vi_b
+
+
+def make_rig(nodes: int = 2, profile: ViaProfile = CLAN, config: ViConfig | None = None) -> ViaRig:
+    engine = Engine()
+    network = Network(engine, profile.link, name=profile.name)
+    nics, agents, providers, registries = [], [], [], []
+    for n in range(nodes):
+        nic = Nic(engine, n, profile, network)
+        agent = ConnectionAgent(engine, nic)
+        registry = MemoryRegistry(costs=profile.registration, label=f"node{n}")
+        provider = ViaProvider(engine, nic, agent, registry, rank=n,
+                               config=config or ViConfig())
+        nics.append(nic)
+        agents.append(agent)
+        providers.append(provider)
+        registries.append(registry)
+    return ViaRig(engine, network, nics, agents, providers, registries)
