@@ -6,6 +6,7 @@ Examples::
     python -m repro.bench fig4 fig8 table2    # a subset
     python -m repro.bench all --full          # the paper's parameters
     python -m repro.bench table1 --large      # add the scaling column
+    python -m repro.bench chaos --smoke       # fault-injection sweep
 """
 
 from __future__ import annotations
@@ -22,6 +23,13 @@ EXPERIMENTS = {**ALL_FIGURES, **ALL_TABLES, **ALL_ABLATIONS}
 
 
 def main(argv=None) -> int:
+    argv = sys.argv[1:] if argv is None else list(argv)
+    if argv and argv[0] == "chaos":
+        # the chaos sweep has its own flags (--smoke/--full), not the
+        # figure/table ones, so it dispatches before this parser
+        from repro.bench.chaos import main as chaos_main
+
+        return chaos_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",

@@ -1,0 +1,28 @@
+"""Deterministic fault injection (``repro.chaos``).
+
+The clean-room simulator assumes a perfect fabric; this package breaks
+that assumption on purpose.  A seeded :class:`FaultPlan` describes
+packet drop, duplication, reordering windows, latency spikes and
+transient link outages; :class:`FaultInjector` applies it at the
+network's single send choke point; and the recovery machinery spread
+through :mod:`repro.via` (sequence/ack/retransmit in the NIC) and
+:mod:`repro.mpi.conn` (connect timeout + exponential backoff) keeps MPI
+semantics — non-overtaking, exactly-once delivery — intact underneath a
+misbehaving wire.
+
+Everything is driven by ``ClusterSpec.seed`` through named RNG streams:
+identical ``(seed, FaultPlan)`` pairs reproduce byte-identical event
+traces, and an inactive plan is bit-for-bit equivalent to no plan.
+
+    from repro.chaos import FaultPlan
+    from repro.cluster import ClusterSpec, run_job
+
+    result = run_job(ClusterSpec(seed=7), nprocs=8, program=prog,
+                     fault_plan=FaultPlan(loss=0.05))
+    print(result.chaos.summary())
+"""
+
+from repro.chaos.plan import FaultPlan, LinkOutage
+from repro.chaos.injector import ChaosStats, FaultInjector, Verdict
+
+__all__ = ["FaultPlan", "LinkOutage", "ChaosStats", "FaultInjector", "Verdict"]

@@ -1,0 +1,113 @@
+"""Fault plans: declarative descriptions of how the fabric misbehaves.
+
+A :class:`FaultPlan` says *what* can go wrong — drop/duplicate/reorder
+probabilities, latency spikes, scheduled link outages — and with what
+transport-recovery budget the NIC reliability sublayer answers.  It
+carries no randomness of its own: the actual coin flips come from a
+named stream of :class:`~repro.sim.rng.RngStreams` derived from
+``ClusterSpec.seed``, so one ``(seed, FaultPlan)`` pair always produces
+the exact same fault sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class LinkOutage:
+    """One transient link-down window: every packet to or from ``node``
+    is dropped while ``start_us <= now < end_us``."""
+
+    node: int
+    start_us: float
+    end_us: float
+
+    def __post_init__(self) -> None:
+        if self.node < 0:
+            raise ValueError("outage node must be >= 0")
+        if not (0.0 <= self.start_us < self.end_us):
+            raise ValueError("outage needs 0 <= start_us < end_us")
+
+    def covers(self, now: float) -> bool:
+        return self.start_us <= now < self.end_us
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault-injection description for one job.
+
+    Fabric fault classes (independent per-packet probabilities):
+
+    loss:
+        Probability a packet is silently dropped in the switch.
+    duplicate:
+        Probability a packet is delivered twice (second copy after a
+        small uniform extra delay in ``[0, reorder_window_us]``).
+    reorder:
+        Probability a packet is held back by a uniform extra delay in
+        ``[0, reorder_window_us]`` — enough to overtake later traffic.
+    spike:
+        Probability a packet eats a fixed ``spike_us`` latency spike.
+    link_down:
+        Scheduled transient outages (:class:`LinkOutage`); packets in a
+        window are dropped deterministically, no coin flip.
+
+    Transport recovery budget (consumed by the NIC reliability
+    sublayer, see DESIGN.md "Fault model & recovery"):
+
+    rto_us / rto_backoff / rto_max_us:
+        Per-message retransmission timeout, exponential backoff factor
+        and cap.
+    retransmit_limit:
+        Send attempts per message before the VI is declared dead and a
+        transport failure surfaces to the MPI layer.
+    protect_control:
+        Exempt connection-agent control packets (``kind == "conn"``)
+        from all fabric faults.  Required for fault runs that use the
+        serialized client/server setup or the connection cache, whose
+        teardown dialogs are not retried.
+    """
+
+    loss: float = 0.0
+    duplicate: float = 0.0
+    reorder: float = 0.0
+    reorder_window_us: float = 40.0
+    spike: float = 0.0
+    spike_us: float = 200.0
+    link_down: Tuple[LinkOutage, ...] = field(default_factory=tuple)
+    rto_us: float = 400.0
+    rto_backoff: float = 2.0
+    rto_max_us: float = 6400.0
+    retransmit_limit: int = 10
+    protect_control: bool = False
+
+    def __post_init__(self) -> None:
+        for name in ("loss", "duplicate", "reorder", "spike"):
+            p = getattr(self, name)
+            if not (0.0 <= p < 1.0):
+                raise ValueError(f"{name} must be a probability in [0, 1)")
+        if self.reorder_window_us < 0 or self.spike_us < 0:
+            raise ValueError("delay windows must be >= 0")
+        if self.rto_us <= 0 or self.rto_max_us < self.rto_us:
+            raise ValueError("need 0 < rto_us <= rto_max_us")
+        if self.rto_backoff < 1.0:
+            raise ValueError("rto_backoff must be >= 1")
+        if self.retransmit_limit < 1:
+            raise ValueError("retransmit_limit must be >= 1")
+        if not isinstance(self.link_down, tuple):
+            object.__setattr__(self, "link_down", tuple(self.link_down))
+
+    @property
+    def active(self) -> bool:
+        """True if this plan can actually perturb the fabric.
+
+        An inactive plan (all probabilities zero, no outages) is a
+        guaranteed no-op: jobs run bit-for-bit identically to a run
+        with no plan at all.
+        """
+        return bool(
+            self.loss or self.duplicate or self.reorder or self.spike
+            or self.link_down
+        )

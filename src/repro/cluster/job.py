@@ -9,13 +9,16 @@ returns a :class:`JobResult`.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.chaos import FaultInjector, FaultPlan
 from repro.cluster.oob import OobBoard
 from repro.cluster.spec import ClusterSpec
 from repro.fabric.network import Network
 from repro.memory.registry import MemoryRegistry
+from repro.metrics.chaos import ChaosReport, collect_chaos
 from repro.metrics.resources import ResourceReport, collect_resources
 from repro.mpi.adi import AbstractDevice
 from repro.mpi.communicator import Communicator
@@ -30,6 +33,11 @@ from repro.via.provider import ViConfig, ViaProvider
 
 #: a rank program: generator function taking (mpi, *args)
 RankProgram = Callable[..., Any]
+
+#: connect timeout enabled automatically when a fault plan is active and
+#: the config did not pick one (generous: a fault-free 16-process init
+#: storm establishes well within this, so spurious retries are rare)
+CHAOS_CONNECT_TIMEOUT_US = 5000.0
 
 
 class JobError(RuntimeError):
@@ -56,6 +64,8 @@ class JobResult:
     #: NIC drop counters (must be zero unless failure injection is on)
     dropped_messages: int
     events_processed: int
+    #: fault/recovery counters; None unless a fault plan was active
+    chaos: Optional[ChaosReport] = None
 
     @property
     def avg_init_time_us(self) -> float:
@@ -75,6 +85,7 @@ def run_job(
     per_rank_args: Optional[List[tuple]] = None,
     engine: Optional[Engine] = None,
     allow_drops: bool = False,
+    fault_plan: Optional[FaultPlan] = None,
 ) -> JobResult:
     """Simulate one MPI job and return its measurements.
 
@@ -87,6 +98,12 @@ def run_job(
         Optional per-rank argument tuples (overrides ``program_args``).
     allow_drops:
         Permit NIC message drops (failure-injection tests only).
+    fault_plan:
+        Optional :class:`~repro.chaos.FaultPlan`; its randomness is
+        seeded from ``spec.seed``.  An inactive plan (all zero) is
+        bit-for-bit equivalent to None.  When active, connect timeouts
+        are enabled (using the plan-friendly default below unless the
+        config sets its own) and the NIC reliability sublayer turns on.
     """
     config = config or MpiConfig()
     spec.validate_nprocs(nprocs)
@@ -96,9 +113,30 @@ def run_job(
             "client/server connection model"
         )
 
+    chaos_active = fault_plan is not None and fault_plan.active
+    if chaos_active:
+        if config.connection == "static-cs" and not fault_plan.protect_control:
+            raise JobError(
+                "the serialized client/server setup has no control-packet "
+                "retry; fault plans must set protect_control=True with "
+                "connection='static-cs'"
+            )
+        if config.vi_cache_limit is not None and not fault_plan.protect_control:
+            raise JobError(
+                "the connection-cache disconnect handshake has no "
+                "control-packet retry; fault plans must set "
+                "protect_control=True with vi_cache_limit"
+            )
+        if config.connect_timeout_us is None:
+            config = dataclasses.replace(
+                config, connect_timeout_us=CHAOS_CONNECT_TIMEOUT_US)
+
     engine = engine or Engine()
     rng = RngStreams(spec.seed)
     network = Network(engine, spec.profile.link, name=spec.profile.name)
+    if chaos_active:
+        network.injector = FaultInjector(
+            engine, fault_plan, rng.stream("chaos.fabric"))
     nics: List[Nic] = []
     agents: List[ConnectionAgent] = []
     for node in range(spec.nodes):
@@ -129,6 +167,10 @@ def run_job(
             rank_to_node=spec.node_of,
         )
         adi.conn = make_connection_manager(config.connection, adi)
+        if chaos_active:
+            # per-rank jitter stream: drawn only on actual connect
+            # retries, deterministic per (seed, rank)
+            adi.retry_rng = rng.stream(f"chaos.conn-retry.r{rank}")
         world = Communicator(range(nprocs), rank, context_base=0)
         facades[rank] = MpiProcess(adi, world, jitter_seed=spec.seed)
         facades[rank]._oob = oob
@@ -183,6 +225,10 @@ def run_job(
             f"{drops} messages dropped at NICs — flow control violated"
         )
 
+    chaos_report = None
+    if chaos_active:
+        chaos_report = collect_chaos(network.injector, nics, devices)
+
     assert resources_box[0] is not None
     return JobResult(
         nprocs=nprocs,
@@ -195,4 +241,5 @@ def run_job(
         resources=resources_box[0],
         dropped_messages=drops,
         events_processed=engine.events_processed,
+        chaos=chaos_report,
     )

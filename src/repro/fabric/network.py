@@ -14,11 +14,14 @@ event-callback context and must not block.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Optional
+from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.fabric.link import LinkParams, Port
 from repro.fabric.packet import Packet
 from repro.sim.engine import Engine, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.injector import FaultInjector
 
 DeliveryHandler = Callable[[Packet], None]
 
@@ -34,6 +37,9 @@ class Network:
         self._handlers: Dict[int, DeliveryHandler] = {}
         self.packets_delivered = 0
         self.bytes_delivered = 0
+        #: optional chaos hook (repro.chaos.FaultInjector); None = the
+        #: fabric is perfectly reliable, the historical behaviour
+        self.injector: Optional["FaultInjector"] = None
 
     # -- wiring ------------------------------------------------------------
     def attach(self, node_id: int, handler: DeliveryHandler) -> Port:
@@ -66,11 +72,19 @@ class Network:
         dst_port = self.port(packet.dst)
         loopback = packet.src == packet.dst
         packet.injected_at = self.engine.now
+        verdict = None if self.injector is None else self.injector.judge(packet)
 
         egress_done = src_port.schedule_tx(packet.wire_bytes, loopback=loopback)
         hop = (
             self.params.loopback_latency_us if loopback else self.params.wire_latency_us
         )
+        if verdict is not None and verdict.drop:
+            # the sender's egress was still occupied; the switch eats it
+            ev = self.engine.event(name=f"{self.name}.chaos-drop.{packet.kind}")
+            ev.succeed(packet, delay=egress_done - self.engine.now)
+            return ev
+        if verdict is not None:
+            hop += verdict.extra_delay_us
         delivered = dst_port.schedule_rx(packet.wire_bytes, egress_done + hop)
 
         ev = self.engine.event(name=f"{self.name}.deliver.{packet.kind}")
@@ -83,6 +97,13 @@ class Network:
 
         ev.add_callback(_deliver)
         ev.succeed(packet, delay=delivered - self.engine.now)
+        if verdict is not None and verdict.duplicate:
+            dup_at = dst_port.schedule_rx(
+                packet.wire_bytes, egress_done + hop + verdict.dup_extra_us
+            )
+            dup = self.engine.event(name=f"{self.name}.deliver-dup.{packet.kind}")
+            dup.add_callback(_deliver)
+            dup.succeed(packet, delay=dup_at - self.engine.now)
         return ev
 
     def one_way_time(self, wire_bytes: int, *, loopback: bool = False) -> float:

@@ -1,5 +1,13 @@
-"""Resource and timing metrics — the numbers the paper tabulates."""
+"""Resource and timing metrics — the numbers the paper tabulates,
+plus fault/recovery counters when chaos injection is active."""
 
+from repro.metrics.chaos import ChaosReport, collect_chaos
 from repro.metrics.resources import ProcessResources, ResourceReport, collect_resources
 
-__all__ = ["ProcessResources", "ResourceReport", "collect_resources"]
+__all__ = [
+    "ProcessResources",
+    "ResourceReport",
+    "collect_resources",
+    "ChaosReport",
+    "collect_chaos",
+]

@@ -41,6 +41,7 @@ from repro.mpi.constants import (
     BOR,
     SendMode,
     MpiError,
+    ConnectionFailed,
 )
 from repro.mpi.config import MpiConfig
 from repro.mpi.status import Status
@@ -63,6 +64,7 @@ __all__ = [
     "BOR",
     "SendMode",
     "MpiError",
+    "ConnectionFailed",
     "MpiConfig",
     "Status",
     "Request",

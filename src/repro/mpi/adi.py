@@ -34,7 +34,13 @@ import numpy as np
 
 from repro.mpi.channel import Channel, ChannelState, PendingSend
 from repro.mpi.config import MpiConfig
-from repro.mpi.constants import ANY_SOURCE, PROC_NULL, MpiError, SendMode
+from repro.mpi.constants import (
+    ANY_SOURCE,
+    PROC_NULL,
+    ConnectionFailed,
+    MpiError,
+    SendMode,
+)
 from repro.mpi.headers import (
     AckHeader,
     CreditHeader,
@@ -92,6 +98,10 @@ class AbstractDevice:
         self._cost_us = 0.0
         # set by the job runtime
         self.conn = None  # type: ignore[assignment]
+        #: RNG for connect-retry jitter; the job runtime replaces this
+        #: with a per-rank seeded stream.  Only drawn on actual retries,
+        #: so fault-free runs consume nothing from it.
+        self.retry_rng = np.random.default_rng(0)
         # metrics
         self.init_started_at = -1.0
         self.init_done_at = -1.0
@@ -418,6 +428,24 @@ class AbstractDevice:
         self.device_checks += 1
         self.charge(self.profile.cq_poll_us)
         progressed = False
+
+        # 0. transport failures (fault injection): a VI whose retransmit
+        #    budget is exhausted means the peer is unreachable — fail the
+        #    channel and raise a clean typed error rather than hang
+        if self.provider.transport_failures:
+            vi = self.provider.transport_failures.pop(0)
+            ch = self._vi_to_channel.get(vi.vi_id)
+            peer = ch.dest if ch is not None else vi.remote_rank
+            if ch is not None and ch.state is not ChannelState.FAILED:
+                ch.send_fifo.clear()
+                ch.control_queue.clear()
+                self._dirty.discard(ch)
+                self.teardown_channel(ch)
+                ch.state = ChannelState.FAILED
+            raise ConnectionFailed(
+                f"rank {self.rank}: transport to rank {peer} lost "
+                "(retransmit budget exhausted)"
+            )
 
         # 1. send completions: recycle bounce buffers, finish RDMA sends
         while (desc := self.provider.poll_send_cq()) is not None:

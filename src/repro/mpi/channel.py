@@ -40,6 +40,9 @@ class ChannelState(enum.Enum):
     CONNECTED = "connected"
     #: connection-cache eviction in progress (disconnect handshake)
     DRAINING = "draining"
+    #: connect retry budget exhausted or transport dead (fault
+    #: injection); further use raises ConnectionFailed
+    FAILED = "failed"
 
 
 @dataclass
@@ -71,6 +74,7 @@ class Channel:
         "messages_sent", "messages_received", "bytes_sent", "bytes_received",
         "explicit_credit_messages", "opened_at", "connected_at",
         "last_used_at", "evictions", "evict_cooldown_until",
+        "connect_attempts", "connect_deadline",
     )
 
     def __init__(
@@ -108,6 +112,11 @@ class Channel:
         self.evictions = 0
         #: after a NACKed disconnect, leave the peer alone until this time
         self.evict_cooldown_until: float = -1.0
+        #: connect attempts for the current connection cycle (retry logic)
+        self.connect_attempts = 0
+        #: simulated time after which the in-flight connect is retried;
+        #: +inf when connect timeouts are disabled
+        self.connect_deadline = float("inf")
 
     # -- state ------------------------------------------------------------
     @property

@@ -62,6 +62,21 @@ class MpiConfig:
     #: evict the least-recently-used *quiescent* connection when a new
     #: one is needed.  None = unlimited (the paper's behaviour).
     vi_cache_limit: int | None = None
+    #: connection-robustness knobs (the repro.chaos fault-injection
+    #: layer): a peer-to-peer connect that has not established within
+    #: ``connect_timeout_us`` is retried with exponential backoff
+    #: (factor ``connect_backoff``, capped at ``connect_timeout_max_us``,
+    #: plus up to ``connect_jitter`` relative random jitter to break
+    #: retry synchronization) at most ``connect_retry_limit`` times
+    #: before surfacing a typed ``ConnectionFailed``.  ``None`` disables
+    #: timeouts entirely — the default, and required for bit-for-bit
+    #: reproducibility of fault-free runs.  ``run_job`` enables a
+    #: default timeout automatically when a fault plan is active.
+    connect_timeout_us: float | None = None
+    connect_retry_limit: int = 8
+    connect_backoff: float = 2.0
+    connect_timeout_max_us: float = 80_000.0
+    connect_jitter: float = 0.1
 
     def __post_init__(self) -> None:
         if self.connection not in CONNECTION_MODES:
@@ -83,6 +98,14 @@ class MpiConfig:
                     "initial_credits must be in [1, data_credits]")
             if self.growth_chunk < 1:
                 raise ValueError("growth_chunk must be >= 1")
+        if self.connect_timeout_us is not None and self.connect_timeout_us <= 0:
+            raise ValueError("connect_timeout_us must be positive (or None)")
+        if self.connect_retry_limit < 1 or self.connect_backoff < 1.0:
+            raise ValueError(
+                "connect_retry_limit must be >= 1 and connect_backoff >= 1")
+        if self.connect_jitter < 0 or self.connect_timeout_max_us <= 0:
+            raise ValueError(
+                "connect_jitter must be >= 0 and connect_timeout_max_us > 0")
         if self.vi_cache_limit is not None:
             if self.vi_cache_limit < 1:
                 raise ValueError("vi_cache_limit must be >= 1")

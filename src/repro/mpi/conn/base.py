@@ -1,11 +1,22 @@
-"""Connection-manager interface."""
+"""Connection-manager interface.
+
+Besides the establishment policy itself, this base class owns the
+**connect retry machinery** used under fault injection: an in-flight
+peer request that misses its deadline is reissued with exponential
+backoff and jitter, and a channel that exhausts
+``config.connect_retry_limit`` attempts fails over to a typed
+:class:`~repro.mpi.constants.ConnectionFailed` on every request that
+named the peer — a clean MPI error instead of a hang.  With
+``config.connect_timeout_us = None`` (the default) none of this runs
+and connects wait forever, the original behaviour.
+"""
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, List
 
 from repro.mpi.channel import Channel, ChannelState
-from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.constants import ANY_SOURCE, ConnectionFailed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.adi import AbstractDevice
@@ -26,6 +37,9 @@ class BaseConnectionManager:
         self.adi = adi
         #: channels whose peer-to-peer request is in flight
         self._connecting: List[Channel] = []
+        # fault-recovery counters (chaos metrics)
+        self.connect_retries = 0
+        self.connect_failures = 0
 
     # -- lifecycle ---------------------------------------------------------
     def init_phase(self):
@@ -53,20 +67,94 @@ class BaseConnectionManager:
     def progress(self) -> bool:
         """Check in-flight connection requests (non-blocking).
 
-        Default: poll VipConnectPeerDone on all connecting channels.
+        Default: poll VipConnectPeerDone on all connecting channels;
+        with timeouts enabled, retry or fail the ones past deadline.
         """
         progressed = False
         if not self._connecting:
             return False
+        adi = self.adi
+        now = adi.engine.now
         still: List[Channel] = []
         for ch in self._connecting:
-            if self.adi.provider.connect_peer_done(ch.vi):
-                self.adi.mark_channel_connected(ch)
+            if adi.provider.connect_peer_done(ch.vi):
+                ch.connect_attempts = 0
+                ch.connect_deadline = float("inf")
+                adi.mark_channel_connected(ch)
                 progressed = True
+            elif now >= ch.connect_deadline:
+                progressed = True
+                if ch.connect_attempts >= adi.config.connect_retry_limit:
+                    self._fail_connect(ch)
+                else:
+                    self._retry_connect(ch)
+                    still.append(ch)
             else:
                 still.append(ch)
         self._connecting = still
         return progressed
+
+    # -- connect retry / failure (fault injection) ----------------------------
+    def _arm_connect_deadline(self, ch: Channel) -> None:
+        """Set the channel's next retry deadline: exponential backoff
+        with jitter on retries, no deadline when timeouts are off."""
+        cfg = self.adi.config
+        if cfg.connect_timeout_us is None:
+            ch.connect_deadline = float("inf")
+            return
+        window = min(
+            cfg.connect_timeout_us
+            * cfg.connect_backoff ** (ch.connect_attempts - 1),
+            cfg.connect_timeout_max_us,
+        )
+        if cfg.connect_jitter > 0 and ch.connect_attempts > 1:
+            # jitter only on retries: the first deadline stays a pure
+            # function of config, and fault-free runs draw no randomness
+            window *= 1.0 + cfg.connect_jitter * float(
+                self.adi.retry_rng.random())
+        ch.connect_deadline = self.adi.engine.now + window
+        # a rank parked on its activity signal would otherwise sleep
+        # through the deadline: wake it to run a progress pass (spurious
+        # if the connect established meanwhile — waiters re-check)
+        self.adi.engine.schedule(window, self.adi.provider.activity.fire)
+
+    def _retry_connect(self, ch: Channel) -> None:
+        """Reissue the peer request for a connect past its deadline."""
+        adi = self.adi
+        self.connect_retries += 1
+        ch.connect_attempts += 1
+        adi.charge(adi.provider.connect_peer_retry(
+            ch.vi, adi.rank_to_node(ch.dest), ch.dest))
+        self._arm_connect_deadline(ch)
+
+    def _fail_connect(self, ch: Channel) -> None:
+        """Retry budget exhausted: fail every request naming this peer
+        with a typed ConnectionFailed and tear the channel down."""
+        adi = self.adi
+        now = adi.engine.now
+        self.connect_failures += 1
+        exc = ConnectionFailed(
+            f"rank {adi.rank}: connection to rank {ch.dest} failed after "
+            f"{ch.connect_attempts} attempts"
+        )
+        adi.charge(adi.provider.connect_peer_cancel(ch.vi, ch.dest))
+        for item in list(ch.send_fifo) + list(ch.control_queue):
+            req = item.request
+            if req is None:
+                continue
+            adi._awaiting_cts.pop(req.request_id, None)
+            adi._awaiting_ack.pop(req.request_id, None)
+            req.error = exc
+            if not req.done:
+                req.complete(now)
+        ch.send_fifo.clear()
+        ch.control_queue.clear()
+        adi._dirty.discard(ch)
+        for req in adi.matching.take_posted_for(ch.dest):
+            req.error = exc
+            req.complete(now)
+        adi.teardown_channel(ch)
+        ch.state = ChannelState.FAILED
 
     # -- shared helpers -------------------------------------------------------------
     def _open_and_request(self, dest: int) -> Channel:
@@ -79,6 +167,8 @@ class BaseConnectionManager:
         )
         adi.charge(cost)
         ch.state = ChannelState.CONNECTING
+        ch.connect_attempts = 1
+        self._arm_connect_deadline(ch)
         self._connecting.append(ch)
         return ch
 

@@ -26,7 +26,7 @@ from typing import Optional
 
 from repro.mpi.channel import Channel, ChannelState
 from repro.mpi.conn.base import BaseConnectionManager
-from repro.mpi.constants import ANY_SOURCE
+from repro.mpi.constants import ANY_SOURCE, ConnectionFailed
 from repro.via.messages import DisconnectReply, DisconnectRequest
 
 
@@ -52,6 +52,11 @@ class OnDemandConnectionManager(BaseConnectionManager):
         if ch is None:
             ch = self.adi.new_channel(dest)
             self._activate(ch)
+        elif ch.state is ChannelState.FAILED:
+            raise ConnectionFailed(
+                f"rank {self.adi.rank}: peer {dest} is unreachable "
+                "(connect retry budget exhausted)"
+            )
         elif (ch.state is ChannelState.UNOPENED
               and ch not in self._waiting_for_room):
             # evicted earlier; reconnect on demand
@@ -78,6 +83,8 @@ class OnDemandConnectionManager(BaseConnectionManager):
         adi.charge(adi.provider.connect_peer_request(
             ch.vi, adi.rank_to_node(ch.dest), ch.dest))
         ch.state = ChannelState.CONNECTING
+        ch.connect_attempts = 1
+        self._arm_connect_deadline(ch)
         self._connecting.append(ch)
         if not first_time:
             self.reconnects += 1

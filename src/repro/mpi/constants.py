@@ -22,6 +22,12 @@ class MpiError(RuntimeError):
     """Raised for MPI usage errors (bad ranks, truncation, ...)."""
 
 
+class ConnectionFailed(MpiError):
+    """A peer is unreachable: the connect retry budget or the transport
+    retransmit budget was exhausted (fault injection).  Surfaced as a
+    clean MPI error by ``MPID_DeviceCheck`` instead of hanging."""
+
+
 class SendMode(enum.Enum):
     """The four MPI-1 communication modes (paper §3.6)."""
 

@@ -116,6 +116,16 @@ class MatchingEngine:
             for req in self._posted
         )
 
+    def take_posted_for(self, world_rank: int) -> List[Request]:
+        """Remove and return posted receives that can *only* be matched
+        by ``world_rank`` (named, not ANY_SOURCE) — used to fail them
+        cleanly when that peer becomes unreachable.  Wildcard receives
+        stay posted: another peer can still satisfy them."""
+        taken = [r for r in self._posted if r.peer == world_rank]
+        if taken:
+            self._posted = [r for r in self._posted if r.peer != world_rank]
+        return taken
+
     def cancel_posted(self, req: Request) -> bool:
         """Remove a posted receive (MPI_Cancel); True if it was queued."""
         try:

@@ -68,6 +68,11 @@ class ConnectionAgent:
         self._pending_incoming: Dict[tuple, ConnRequest] = {}
         #: keys with a local request issued but not yet established
         self._requested: set[tuple] = set()
+        #: grants already sent, keyed by (discriminator, granted rank):
+        #: (dst_node, grant, requester vi id).  A retransmitted
+        #: ConnRequest whose grant was lost on a faulty fabric gets the
+        #: same grant again instead of deadlocking half-established.
+        self._grants_sent: Dict[tuple, tuple] = {}
 
         # client/server state: queued requests per listening server rank
         self._cs_queues: Dict[int, Deque[CsConnRequest]] = {}
@@ -133,15 +138,16 @@ class ConnectionAgent:
         vi.mark_connect_pending()
 
         def job() -> None:
+            if key not in self._requested:
+                # cancelled (connect retry budget exhausted) while this
+                # job sat in the service queue: the VI is already torn
+                # down, so neither register nor send anything
+                return
             incoming = self._pending_incoming.pop(key, None)
             if incoming is not None:
                 # The remote side asked first: match immediately.
                 self._establish(vi, incoming.src_node, incoming.src_vi_id, key)
-                self._send_control(
-                    incoming.src_node,
-                    ConnGrant(discriminator, self.nic.node_id, vi.vi_id,
-                              dst_rank=incoming.src_rank),
-                )
+                self._send_grant(incoming, vi)
             else:
                 self._pending_outgoing[key] = vi
                 self._send_control(
@@ -153,6 +159,48 @@ class ConnectionAgent:
 
         self._enqueue(job)
 
+    def peer_request_retry(
+        self, vi: VI, remote_node: int, discriminator: Discriminator,
+        src_rank: int, dst_rank: int,
+    ) -> None:
+        """Resend a possibly-lost ConnRequest for an in-flight connect.
+
+        Unlike :meth:`peer_request` this is idempotent: it neither
+        re-registers the key nor touches the VI state, and it becomes a
+        no-op if the connection established (or was cancelled) while the
+        retry sat in the agent's service queue.
+        """
+        key = (discriminator, src_rank)
+
+        def job() -> None:
+            if self._pending_outgoing.get(key) is not vi:
+                return
+            self._send_control(
+                remote_node,
+                ConnRequest(
+                    discriminator, self.nic.node_id, vi.vi_id, src_rank, dst_rank
+                ),
+            )
+
+        self._enqueue(job)
+
+    def cancel_peer_request(
+        self, discriminator: Discriminator, src_rank: int
+    ) -> None:
+        """Abandon an in-flight peer request (connect retry budget
+        exhausted): a grant that still shows up later is ignored."""
+        key = (discriminator, src_rank)
+        self._requested.discard(key)
+        self._pending_outgoing.pop(key, None)
+        self._pending_incoming.pop(key, None)
+
+    def _send_grant(self, req: ConnRequest, vi: VI) -> None:
+        grant = ConnGrant(req.discriminator, self.nic.node_id, vi.vi_id,
+                          dst_rank=req.src_rank)
+        self._grants_sent[(req.discriminator, req.src_rank)] = (
+            req.src_node, grant, req.src_vi_id)
+        self._send_control(req.src_node, grant)
+
     def _on_peer_request(self, req: ConnRequest) -> None:
         # the local endpoint of this request is the process with rank
         # req.dst_rank; key the local tables accordingly
@@ -162,12 +210,14 @@ class ConnectionAgent:
             # Crossed requests: both sides asked; each establishes from the
             # other's request and the grants become idempotent no-ops.
             self._establish(vi, req.src_node, req.src_vi_id, key)
-            self._send_control(
-                req.src_node,
-                ConnGrant(req.discriminator, self.nic.node_id, vi.vi_id,
-                          dst_rank=req.src_rank),
-            )
+            self._send_grant(req, vi)
         else:
+            sent = self._grants_sent.get((req.discriminator, req.src_rank))
+            if sent is not None and sent[2] == req.src_vi_id:
+                # retransmitted request whose grant got lost: our side
+                # already established — just grant again
+                self._send_control(sent[0], sent[1])
+                return
             self._pending_incoming[key] = req
 
     def _on_peer_grant(self, grant: ConnGrant) -> None:
@@ -297,6 +347,11 @@ class ConnectionAgent:
         if key is not None:
             self._requested.discard(key)
         def finish() -> None:
+            if vi.state not in (ViState.IDLE, ViState.CONNECT_PENDING):
+                # the host gave up (connect retry budget exhausted) and
+                # destroyed the endpoint while the kernel was still
+                # instantiating the connection: abandon the establish
+                return
             vi.mark_connected(remote_node, remote_vi_id, self.engine.now)
             self.connections_established += 1
             owner = self.nic.owner_of(vi)

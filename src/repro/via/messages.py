@@ -36,6 +36,9 @@ class DataMessage:
     data: Optional[np.ndarray]
     #: sender-side descriptor id (tracing)
     descriptor_id: int = 0
+    #: per-VI transport sequence number (> 0 only when the NIC
+    #: reliability sublayer is active, i.e. under fault injection)
+    seq: int = -1
 
     @property
     def nbytes(self) -> int:
@@ -52,10 +55,27 @@ class RdmaWriteMessage:
     remote_offset: int
     data: np.ndarray
     descriptor_id: int = 0
+    seq: int = -1
 
     @property
     def nbytes(self) -> int:
         return int(self.data.nbytes)
+
+
+@dataclass
+class TransportAck:
+    """Cumulative ack of the NIC reliability sublayer (fault injection).
+
+    Acknowledges every sequenced message up to ``cum_seq`` on the
+    (src VI → dst VI) stream.  Handled directly in the NIC's packet
+    handler (firmware fast path, no receive descriptor, no service
+    queue) and itself unacknowledged — a lost ack just means the peer
+    retransmits and gets another one.
+    """
+
+    dst_vi_id: int
+    src_vi_id: int
+    cum_seq: int
 
 
 @dataclass

@@ -32,13 +32,32 @@ from repro.via.messages import (
     CONTROL_TYPES,
     DataMessage,
     RdmaWriteMessage,
+    TransportAck,
 )
 from repro.via.profiles import ViaProfile
 from repro.via.vi import VI
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.chaos.plan import FaultPlan
     from repro.via.agent import ConnectionAgent
     from repro.via.provider import ViaProvider
+
+#: wire size of a transport ack (reliability sublayer control packet)
+ACK_WIRE_BYTES = 32
+
+
+class _Inflight:
+    """One unacknowledged sequenced message awaiting ack or retransmit."""
+
+    __slots__ = ("msg", "wire_bytes", "dst_node", "kind", "attempts")
+
+    def __init__(self, msg, wire_bytes: int, dst_node: int, kind: str):
+        self.msg = msg
+        self.wire_bytes = wire_bytes
+        self.dst_node = dst_node
+        self.kind = kind
+        #: completed send attempts beyond the first transmission
+        self.attempts = 0
 
 
 class Nic:
@@ -71,6 +90,9 @@ class Nic:
         #: before our grant lands); released at establishment
         self._early: Dict[int, Deque[Packet]] = {}
 
+        #: reliability sublayer: unacked sequenced messages per VI id
+        self._rtx: Dict[int, Dict[int, _Inflight]] = {}
+
         # counters
         self.messages_sent = 0
         self.messages_received = 0
@@ -78,6 +100,14 @@ class Nic:
         self.dropped_no_recv_descriptor = 0
         self.dropped_bad_vi = 0
         self.early_arrivals = 0
+        # reliability sublayer counters (all zero without fault injection)
+        self.retransmissions = 0
+        self.rtx_acks_sent = 0
+        self.rtx_dup_dropped = 0
+        self.rtx_ooo_buffered = 0
+        self.rtx_no_descriptor = 0
+        self.rtx_stale = 0
+        self.rtx_exhausted = 0
 
     # -- VI management -------------------------------------------------------
     def allocate_vi_id(self) -> int:
@@ -100,6 +130,7 @@ class Nic:
     def detach_vi(self, vi: VI) -> None:
         self._vis.pop(vi.vi_id, None)
         self._owners.pop(vi.vi_id, None)
+        self._rtx.pop(vi.vi_id, None)
 
     def lookup_vi(self, vi_id: int) -> Optional[VI]:
         return self._vis.get(vi_id)
@@ -169,6 +200,13 @@ class Nic:
                 kind = "rdma"
             else:  # pragma: no cover - enqueue_send() guards this
                 raise ViaProtocolError(f"unexpected op {desc.op} on send queue")
+            plan = self._chaos_plan
+            if plan is not None and remote_node != self.node_id:
+                # lossy fabric: stamp a per-VI sequence number and keep
+                # the message until the peer's cumulative ack covers it
+                vi.tx_seq += 1
+                msg.seq = vi.tx_seq
+                self._track_unacked(vi, remote_node, msg, wire, kind, plan)
             self.network.send(
                 Packet(src=self.node_id, dst=remote_node, wire_bytes=wire,
                        payload=msg, kind=kind)
@@ -178,6 +216,120 @@ class Nic:
         vi.send_cq.push(desc)
         self.owner_of(vi).activity.fire()
         self._kick_tx()
+
+    # -- reliability sublayer (fault injection only) ---------------------------
+    @property
+    def _chaos_plan(self) -> Optional["FaultPlan"]:
+        injector = self.network.injector
+        return None if injector is None else injector.plan
+
+    def _track_unacked(self, vi: VI, dst_node: int, msg, wire: int,
+                       kind: str, plan: "FaultPlan") -> None:
+        self._rtx.setdefault(vi.vi_id, {})[msg.seq] = _Inflight(
+            msg, wire, dst_node, kind)
+        self.engine.schedule(
+            plan.rto_us, lambda: self._rtx_timeout(vi.vi_id, msg.seq))
+
+    def _rtx_timeout(self, vi_id: int, seq: int) -> None:
+        table = self._rtx.get(vi_id)
+        item = None if table is None else table.get(seq)
+        if item is None:
+            return  # acked in the meantime, or the VI was torn down
+        plan = self._chaos_plan
+        if plan is None:  # pragma: no cover - injector removed mid-job
+            table.pop(seq, None)
+            return
+        item.attempts += 1
+        if item.attempts > plan.retransmit_limit:
+            del table[seq]
+            self.rtx_exhausted += 1
+            self.engine.timeout(0.0, name=f"chaos.rtx-exhausted.{item.kind}")
+            vi = self.lookup_vi(vi_id)
+            if vi is not None:
+                vi.state = ViState.ERROR
+                owner = self._owners.get(vi_id)
+                if owner is not None:
+                    owner.on_transport_failure(vi)
+            return
+        self.retransmissions += 1
+        self.network.send(
+            Packet(src=self.node_id, dst=item.dst_node,
+                   wire_bytes=item.wire_bytes, payload=item.msg,
+                   kind=item.kind)
+        )
+        delay = min(plan.rto_us * plan.rto_backoff ** item.attempts,
+                    plan.rto_max_us)
+        self.engine.schedule(delay, lambda: self._rtx_timeout(vi_id, seq))
+
+    def _on_transport_ack(self, ack: TransportAck) -> None:
+        table = self._rtx.get(ack.dst_vi_id)
+        if not table:
+            return
+        for seq in [s for s in table if s <= ack.cum_seq]:
+            del table[seq]
+
+    def _send_ack(self, vi: VI, src_node: int, src_vi_id: int) -> None:
+        """Cumulative ack back to the sender (firmware fast path)."""
+        self.rtx_acks_sent += 1
+        self.network.send(
+            Packet(src=self.node_id, dst=src_node, wire_bytes=ACK_WIRE_BYTES,
+                   payload=TransportAck(dst_vi_id=src_vi_id,
+                                        src_vi_id=vi.vi_id,
+                                        cum_seq=vi.rx_cum),
+                   kind="rtx-ack")
+        )
+
+    def _reliable_deliver(self, vi: VI, src_node: int, msg) -> None:
+        """Dedup + reorder a sequenced arrival, then dispatch in order.
+
+        Retransmissions of already-delivered messages and out-of-order
+        arrivals are resolved *before* any receive descriptor is
+        consumed, so the upper layer sees exactly-once, in-order
+        delivery and its credit accounting stays exact.
+        """
+        seq = msg.seq
+        if seq <= vi.rx_cum:
+            self.rtx_dup_dropped += 1
+            self._send_ack(vi, src_node, msg.src_vi_id)
+            return
+        if seq > vi.rx_cum + 1:
+            # a gap: an earlier message is missing (lost or delayed)
+            vi.rx_ooo[seq] = msg
+            self.rtx_ooo_buffered += 1
+            self._send_ack(vi, src_node, msg.src_vi_id)
+            return
+        if not self._dispatch(vi, msg):
+            # no pre-posted descriptor: do NOT advance rx_cum; the
+            # sender's retransmission retries once the host reposts
+            self.rtx_no_descriptor += 1
+            self._send_ack(vi, src_node, msg.src_vi_id)
+            return
+        vi.rx_cum = seq
+        while True:
+            nxt = vi.rx_ooo.pop(vi.rx_cum + 1, None)
+            if nxt is None:
+                break
+            if not self._dispatch(vi, nxt):
+                # drop the buffered copy; retransmission recovers it
+                self.rtx_no_descriptor += 1
+                break
+            vi.rx_cum += 1
+        self._send_ack(vi, src_node, msg.src_vi_id)
+
+    def _dispatch(self, vi: VI, msg) -> bool:
+        """Hand one in-order message to the datapath; False if a
+        DataMessage found no pre-posted receive descriptor (the message
+        stays undelivered and unacked — not dropped — so the job-level
+        drop accounting is untouched and retransmission recovers it)."""
+        if isinstance(msg, DataMessage):
+            if vi.posted_recv_count == 0:
+                return False
+            return self._deliver_data(vi, msg)
+        if isinstance(msg, RdmaWriteMessage):
+            self._deliver_rdma(vi, msg)
+            return True
+        raise ViaProtocolError(  # pragma: no cover - routing guards this
+            f"NIC cannot handle {type(msg).__name__}")
 
     def release_early(self, vi: VI) -> None:
         """Re-service packets held while ``vi`` was CONNECT_PENDING.
@@ -198,6 +350,9 @@ class Nic:
             if self.agent is None:  # pragma: no cover - wiring error
                 raise ViaProtocolError(f"node {self.node_id} has no connection agent")
             self.agent.on_control(payload)
+            return
+        if isinstance(payload, TransportAck):
+            self._on_transport_ack(payload)
             return
         self._rx_queue.append(packet)
         self._kick_rx()
@@ -223,7 +378,14 @@ class Nic:
             self.early_arrivals += 1
             self._early.setdefault(vi.vi_id, deque()).append(packet)
         elif vi is None or vi.state is not ViState.CONNECTED:
-            self.dropped_bad_vi += 1
+            if getattr(msg, "seq", -1) > 0:
+                # sequenced straggler (late retransmission after the VI
+                # died or the job wound down): benign under chaos
+                self.rtx_stale += 1
+            else:
+                self.dropped_bad_vi += 1
+        elif msg.seq > 0:
+            self._reliable_deliver(vi, packet.src, msg)
         elif isinstance(msg, DataMessage):
             self._deliver_data(vi, msg)
         elif isinstance(msg, RdmaWriteMessage):
@@ -232,25 +394,27 @@ class Nic:
             raise ViaProtocolError(f"NIC cannot handle {type(msg).__name__}")
         self._kick_rx()
 
-    def _deliver_data(self, vi: VI, msg: DataMessage) -> None:
+    def _deliver_data(self, vi: VI, msg: DataMessage) -> bool:
+        """Consume a receive descriptor for ``msg``; False if none posted."""
         desc = vi.pop_recv()
         if desc is None:
             # VIA semantics: no pre-posted descriptor => message dropped.
             self.dropped_no_recv_descriptor += 1
-            return
+            return False
         nbytes = msg.nbytes
         if msg.data is not None:
             if nbytes > desc.buffer.size:
                 desc.complete(DescriptorStatus.ERROR, 0, self.engine.now)
                 vi.recv_cq.push(desc)
                 self.owner_of(vi).activity.fire()
-                return
+                return True
             desc.buffer.view()[:nbytes] = msg.data
         desc.header = msg.header
         desc.complete(DescriptorStatus.SUCCESS, nbytes, self.engine.now)
         self.messages_received += 1
         vi.recv_cq.push(desc)
         self.owner_of(vi).activity.fire()
+        return True
 
     def _deliver_rdma(self, vi: VI, msg: RdmaWriteMessage) -> None:
         owner = self.owner_of(vi)

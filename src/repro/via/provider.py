@@ -87,6 +87,9 @@ class ViaProvider:
         #: agent-delivered disconnect control messages awaiting the MPI
         #: layer's next progress pass
         self.pending_disconnects: list = []
+        #: VIs whose transport retransmit budget was exhausted (fault
+        #: injection), awaiting the MPI layer's next progress pass
+        self.transport_failures: list = []
 
         # counters for the paper's resource tables
         self.vis_created = 0
@@ -267,6 +270,30 @@ class ViaProvider:
     def connect_peer_done(self, vi: VI) -> bool:
         """VipConnectPeerDone: nonblocking establishment check."""
         return vi.is_connected
+
+    def connect_peer_retry(
+        self, vi: VI, remote_node: int, remote_rank: int
+    ) -> float:
+        """Resend a peer request whose control packet may have been lost
+        (connect-timeout recovery under fault injection)."""
+        self.agent.peer_request_retry(
+            vi, remote_node, self.discriminator_for(remote_rank),
+            src_rank=self.rank, dst_rank=remote_rank,
+        )
+        return self.profile.connection.host_request_us
+
+    def connect_peer_cancel(self, vi: VI, remote_rank: int) -> float:
+        """Abandon an in-flight peer request (retry budget exhausted)."""
+        self.agent.cancel_peer_request(
+            self.discriminator_for(remote_rank), self.rank
+        )
+        return 0.0
+
+    def on_transport_failure(self, vi: VI) -> None:
+        """NIC callback: ``vi``'s retransmit budget is exhausted; the
+        MPI progress engine surfaces it at its next device check."""
+        self.transport_failures.append(vi)
+        self.activity.fire()
 
     def listen(self) -> None:
         """Register this rank as a client/server-model server."""

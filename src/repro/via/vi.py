@@ -44,6 +44,9 @@ class VI:
         "recvs_posted",
         "user_context",
         "connected_at",
+        "tx_seq",
+        "rx_cum",
+        "rx_ooo",
     )
 
     def __init__(
@@ -80,6 +83,13 @@ class VI:
         self.recvs_posted = 0
         self.user_context: Any = None
         self.connected_at: float = -1.0
+        # NIC reliability sublayer state (only used under fault
+        # injection; see repro.chaos): last transmitted / last
+        # cumulatively delivered sequence number, and the out-of-order
+        # arrival buffer keyed by seq
+        self.tx_seq = 0
+        self.rx_cum = 0
+        self.rx_ooo: dict = {}
 
     # -- connection state ---------------------------------------------------
     @property

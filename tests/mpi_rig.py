@@ -20,6 +20,7 @@ def run(
     seed: int = 0,
     allow_drops: bool = False,
     per_rank_args: Optional[List[tuple]] = None,
+    fault_plan=None,
     **config_kwargs: Any,
 ):
     """Run ``program`` on a small cluster; returns the JobResult."""
@@ -30,6 +31,7 @@ def run(
     return run_job(
         spec, nprocs, program, config,
         allow_drops=allow_drops, per_rank_args=per_rank_args,
+        fault_plan=fault_plan,
     )
 
 

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.chaos import FaultPlan
 from repro.cluster import ClusterSpec, run_job
 from repro.metrics.resources import ProcessResources, ResourceReport
 from repro.mpi import MpiConfig
@@ -129,3 +130,66 @@ class TestDeterminism:
                     MpiConfig(), engine=eng)
             prints.append(tr.fingerprint())
         assert prints[0] == prints[1]
+
+
+class TestChaosDeterminism:
+    """Fault injection is seeded: chaos is exactly reproducible."""
+
+    @staticmethod
+    def _prog(mpi):
+        for _ in range(3):
+            yield from mpi.barrier()
+            out = np.empty(128)
+            yield from mpi.allreduce(np.full(128, float(mpi.rank)), out)
+        return float(out[0])
+
+    def _run(self, seed, fault_plan):
+        tr = TraceRecorder()
+        eng = Engine(trace=tr)
+        res = run_job(ClusterSpec(nodes=4, ppn=2, seed=seed), 8,
+                      self._prog, MpiConfig(), engine=eng,
+                      fault_plan=fault_plan)
+        return tr.fingerprint(), res
+
+    def test_same_seed_same_plan_identical(self):
+        """Identical (seed, FaultPlan) reproduces the whole run:
+        byte-identical trace, fault counters, and event count."""
+        plan = FaultPlan(loss=0.05, duplicate=0.03, reorder=0.05)
+        fp1, r1 = self._run(21, plan)
+        fp2, r2 = self._run(21, plan)
+        assert fp1 == fp2
+        assert r1.chaos.as_dict() == r2.chaos.as_dict()
+        assert r1.events_processed == r2.events_processed
+        assert r1.chaos.total_faults > 0  # the plan actually fired
+
+    def test_zero_fault_plan_bit_identical_to_no_plan(self):
+        """FaultPlan() (all zero) is bit-for-bit the unfaulted run: no
+        extra events, no RNG draws, identical trace fingerprint."""
+        fp_none, r_none = self._run(9, None)
+        fp_zero, r_zero = self._run(9, FaultPlan())
+        assert fp_none == fp_zero
+        assert r_none.events_processed == r_zero.events_processed
+        assert r_zero.chaos is None
+
+    def test_different_seed_perturbs_faults_not_numerics(self):
+        plan = FaultPlan(loss=0.05)
+        fp1, r1 = self._run(1, plan)
+        fp2, r2 = self._run(2, plan)
+        # different seed: different fault timing, different trace ...
+        assert fp1 != fp2
+        # ... same program answers on every rank
+        assert r1.returns == r2.returns
+
+    def test_cg_trace_reproducible_under_faults(self):
+        from repro.apps.npb import KERNELS as K
+
+        plan = FaultPlan(loss=0.04)
+        spec = ClusterSpec(nodes=8, ppn=1, seed=13)
+        runs = []
+        for _ in range(2):
+            tr = TraceRecorder()
+            res = run_job(spec, 8, K["cg"]("S"), MpiConfig(),
+                          engine=Engine(trace=tr), fault_plan=plan)
+            runs.append((tr.fingerprint(), res.chaos.as_dict(),
+                         res.returns[0].verification))
+        assert runs[0] == runs[1]
