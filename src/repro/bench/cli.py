@@ -7,6 +7,7 @@ Examples::
     python -m repro.bench all --full          # the paper's parameters
     python -m repro.bench table1 --large      # add the scaling column
     python -m repro.bench chaos --smoke       # fault-injection sweep
+    python -m repro.bench trace cg --np 4     # telemetry + Chrome trace
 """
 
 from __future__ import annotations
@@ -30,6 +31,11 @@ def main(argv=None) -> int:
         from repro.bench.chaos import main as chaos_main
 
         return chaos_main(argv[1:])
+    if argv and argv[0] == "trace":
+        # telemetry export has its own flags too
+        from repro.bench.trace_cmd import main as trace_main
+
+        return trace_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",

@@ -1,0 +1,109 @@
+"""``python -m repro.bench trace <workload>`` — run one job with full
+telemetry and export a Perfetto-loadable Chrome trace (plus an optional
+JSONL event stream and a metrics summary table).
+
+Examples::
+
+    python -m repro.bench trace cg --np 4 --nodes 4 --out cg.trace.json
+    python -m repro.bench trace is --np 8 --cls S --connection static-p2p
+    python -m repro.bench trace mg --jsonl mg.jsonl
+
+Open the ``--out`` file at https://ui.perfetto.dev ("Open trace file"):
+one lane per MPI rank, one per NIC, one per fabric link.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.apps.npb import KERNELS
+from repro.cluster.job import run_job
+from repro.cluster.spec import ClusterSpec
+from repro.mpi.config import MpiConfig
+from repro.telemetry import (
+    TelemetryConfig,
+    export_chrome_trace,
+    export_jsonl,
+    summary_experiment,
+)
+from repro.via.profiles import profile_by_name
+
+CONNECTIONS = ("ondemand", "static-p2p", "static-cs")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench trace",
+        description="Run one workload with telemetry and export a trace.",
+    )
+    parser.add_argument(
+        "workload", choices=sorted(KERNELS),
+        help="NPB kernel to trace",
+    )
+    parser.add_argument("--np", type=int, default=4, dest="nprocs",
+                        help="number of MPI processes (default 4)")
+    parser.add_argument("--nodes", type=int, default=4,
+                        help="cluster nodes (default 4)")
+    parser.add_argument("--ppn", type=int, default=None,
+                        help="processes per node (default: fit --np)")
+    parser.add_argument("--cls", default="S", dest="npb_class",
+                        help="NPB problem class (default S)")
+    parser.add_argument("--connection", choices=CONNECTIONS,
+                        default="ondemand")
+    parser.add_argument("--profile", choices=("clan", "berkeley"),
+                        default="clan")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", default=None,
+                        help="Chrome trace output path "
+                             "(default <workload>.trace.json)")
+    parser.add_argument("--jsonl", default=None,
+                        help="also write the JSONL event stream here")
+    parser.add_argument("--categories", default=None,
+                        help="comma-separated span categories to keep "
+                             "(conn,mpi,coll,nic,fabric,via); default all")
+    args = parser.parse_args(argv)
+
+    ppn = args.ppn
+    if ppn is None:
+        ppn = max(1, -(-args.nprocs // args.nodes))
+    spec = ClusterSpec(
+        nodes=args.nodes, ppn=ppn,
+        profile=profile_by_name(args.profile), seed=args.seed,
+    )
+    spec.validate_nprocs(args.nprocs)
+
+    categories = None
+    if args.categories:
+        categories = tuple(c.strip() for c in args.categories.split(",") if c.strip())
+    cfg = TelemetryConfig(categories=categories)
+
+    program = KERNELS[args.workload](args.npb_class)
+    res = run_job(
+        spec, args.nprocs, program,
+        config=MpiConfig(connection=args.connection),
+        telemetry=cfg,
+    )
+    tel = res.telemetry
+    assert tel is not None
+
+    out = args.out or f"{args.workload}.trace.json"
+    n_events = export_chrome_trace(tel, out)
+    print(f"wrote {out}: {n_events} trace events "
+          f"({len(tel.spans)} spans, {len(tel.instants)} instants)")
+    if args.jsonl:
+        n_lines = export_jsonl(tel, args.jsonl)
+        print(f"wrote {args.jsonl}: {n_lines} lines")
+
+    title = (f"{args.workload}.{args.npb_class} np={args.nprocs} "
+             f"{args.connection}/{args.profile} seed={args.seed}")
+    print()
+    print(summary_experiment(tel, title=title).render())
+    print()
+    print(res.summary())
+    print("open the trace at https://ui.perfetto.dev (Open trace file)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

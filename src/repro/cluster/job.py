@@ -10,6 +10,7 @@ returns a :class:`JobResult`.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
@@ -27,6 +28,7 @@ from repro.mpi.conn import make_connection_manager
 from repro.mpi.facade import MpiProcess
 from repro.sim.engine import Engine, SimulationError
 from repro.sim.rng import RngStreams
+from repro.telemetry import Telemetry, TelemetryConfig
 from repro.via.agent import ConnectionAgent
 from repro.via.nic import Nic
 from repro.via.provider import ViConfig, ViaProvider
@@ -66,6 +68,8 @@ class JobResult:
     events_processed: int
     #: fault/recovery counters; None unless a fault plan was active
     chaos: Optional[ChaosReport] = None
+    #: the telemetry plane; None unless run_job(..., telemetry=...) was on
+    telemetry: Optional[Telemetry] = None
 
     @property
     def avg_init_time_us(self) -> float:
@@ -74,6 +78,19 @@ class JobResult:
     @property
     def max_init_time_us(self) -> float:
         return max(self.init_times_us)
+
+    def summary(self) -> str:
+        """One-line job digest for CLIs and logs."""
+        faults = 0 if self.chaos is None else self.chaos.total_faults
+        retries = 0 if self.chaos is None else self.chaos.connect_retries
+        return (
+            f"{self.nprocs} ranks ({self.config.connection}) | "
+            f"sim time {self.total_time_us:.1f}us | "
+            f"init avg {self.avg_init_time_us:.1f}us | "
+            f"{self.resources.total_connections} connections | "
+            f"{retries} connect retries | "
+            f"{faults} faults | {self.dropped_messages} drops"
+        )
 
 
 def run_job(
@@ -86,6 +103,7 @@ def run_job(
     engine: Optional[Engine] = None,
     allow_drops: bool = False,
     fault_plan: Optional[FaultPlan] = None,
+    telemetry: Optional[Any] = None,
 ) -> JobResult:
     """Simulate one MPI job and return its measurements.
 
@@ -104,6 +122,14 @@ def run_job(
         bit-for-bit equivalent to None.  When active, connect timeouts
         are enabled (using the plan-friendly default below unless the
         config sets its own) and the NIC reliability sublayer turns on.
+    telemetry:
+        Optional :class:`~repro.telemetry.TelemetryConfig` (or a
+        pre-built :class:`~repro.telemetry.Telemetry` sharing
+        ``engine``).  When given and enabled, every layer records
+        structured spans/metrics and the result carries
+        ``JobResult.telemetry``.  Recording uses simulated time only
+        and never schedules events, so the run itself is identical to
+        an untraced one.
     """
     config = config or MpiConfig()
     spec.validate_nprocs(nprocs)
@@ -132,8 +158,20 @@ def run_job(
                 config, connect_timeout_us=CHAOS_CONNECT_TIMEOUT_US)
 
     engine = engine or Engine()
+
+    tel: Optional[Telemetry] = None
+    if isinstance(telemetry, Telemetry):
+        tel = telemetry if telemetry.config.enabled else None
+    elif isinstance(telemetry, TelemetryConfig):
+        tel = Telemetry(engine, telemetry) if telemetry.enabled else None
+    elif telemetry is not None:
+        raise TypeError(
+            "telemetry must be a TelemetryConfig or Telemetry instance"
+        )
+
     rng = RngStreams(spec.seed)
     network = Network(engine, spec.profile.link, name=spec.profile.name)
+    network.telemetry = tel
     if chaos_active:
         network.injector = FaultInjector(
             engine, fault_plan, rng.stream("chaos.fabric"))
@@ -141,6 +179,7 @@ def run_job(
     agents: List[ConnectionAgent] = []
     for node in range(spec.nodes):
         nic = Nic(engine, node, spec.profile, network)
+        nic.telemetry = tel
         nics.append(nic)
         agents.append(ConnectionAgent(engine, nic))
 
@@ -162,10 +201,12 @@ def run_job(
             engine, nics[node], agents[node], registry, rank,
             job_id=0, config=vi_config,
         )
+        provider.telemetry = tel
         adi = AbstractDevice(
             engine, provider, config, rank, nprocs,
             rank_to_node=spec.node_of,
         )
+        adi.telemetry = tel
         adi.conn = make_connection_manager(config.connection, adi)
         if chaos_active:
             # per-rank jitter stream: drawn only on actual connect
@@ -184,10 +225,15 @@ def run_job(
     def rank_main(rank: int):
         mpi = facades[rank]
         adi = devices[rank]
+
+        def _span(name: str):
+            return nullcontext() if tel is None else tel.span(name, ("rank", rank))
+
         # ---- MPI_Init: out-of-band bootstrap + connection setup policy
         yield from oob.barrier("init-enter")
         adi.init_started_at = engine.now
-        yield from adi.conn.init_phase()
+        with _span("mpi.init"):
+            yield from adi.conn.init_phase()
         adi.init_done_at = engine.now
         init_times[rank] = adi.init_done_at - adi.init_started_at
         # ---- user program
@@ -196,12 +242,13 @@ def run_job(
         finish_times[rank] = engine.now
         # ---- MPI_Finalize: drain outbound work (weak progress means
         # nobody else will), OOB sync, snapshot resources, tear down
-        yield from adi.drain()
-        yield from oob.progressive_barrier("finalize", adi)
-        if rank == 0:
-            resources_box[0] = collect_resources(devices)
-        yield from oob.progressive_barrier("teardown", adi)
-        yield from adi.conn.finalize_phase()
+        with _span("mpi.finalize"):
+            yield from adi.drain()
+            yield from oob.progressive_barrier("finalize", adi)
+            if rank == 0:
+                resources_box[0] = collect_resources(devices)
+            yield from oob.progressive_barrier("teardown", adi)
+            yield from adi.conn.finalize_phase()
 
     procs = [engine.process(rank_main(r)) for r in range(nprocs)]
     engine.run()
@@ -230,6 +277,21 @@ def run_job(
         chaos_report = collect_chaos(network.injector, nics, devices)
 
     assert resources_box[0] is not None
+    if tel is not None:
+        # close stragglers, then make the registry the one-stop numeric
+        # surface: legacy report views, job gauges, init histogram
+        tel.finish(engine.now)
+        resources_box[0].to_metrics(tel.metrics)
+        if chaos_report is not None:
+            chaos_report.to_metrics(tel.metrics)
+        m = tel.metrics
+        m.gauge("job.total_time_us").set(engine.now)
+        m.gauge("job.events_processed").set(engine.events_processed)
+        m.gauge("fabric.packets_delivered").set(network.packets_delivered)
+        m.gauge("fabric.bytes_delivered").set(network.bytes_delivered)
+        init_hist = m.histogram("mpi.init.us")
+        for t in init_times:
+            init_hist.observe(t)
     return JobResult(
         nprocs=nprocs,
         config=config,
@@ -242,4 +304,5 @@ def run_job(
         dropped_messages=drops,
         events_processed=engine.events_processed,
         chaos=chaos_report,
+        telemetry=tel,
     )

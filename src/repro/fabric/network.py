@@ -22,6 +22,7 @@ from repro.sim.engine import Engine, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.chaos.injector import FaultInjector
+    from repro.telemetry.core import Telemetry
 
 DeliveryHandler = Callable[[Packet], None]
 
@@ -40,6 +41,8 @@ class Network:
         #: optional chaos hook (repro.chaos.FaultInjector); None = the
         #: fabric is perfectly reliable, the historical behaviour
         self.injector: Optional["FaultInjector"] = None
+        #: optional telemetry plane; None = untraced (zero overhead)
+        self.telemetry: Optional["Telemetry"] = None
 
     # -- wiring ------------------------------------------------------------
     def attach(self, node_id: int, handler: DeliveryHandler) -> Port:
@@ -78,13 +81,26 @@ class Network:
         hop = (
             self.params.loopback_latency_us if loopback else self.params.wire_latency_us
         )
+        tel = self.telemetry
         if verdict is not None and verdict.drop:
+            if tel is not None:
+                tel.instant(
+                    "fabric.chaos.drop", ("link", packet.src),
+                    dst=packet.dst, kind=packet.kind,
+                )
+                tel.counter("fabric.chaos.dropped").inc()
             # the sender's egress was still occupied; the switch eats it
             ev = self.engine.event(name=f"{self.name}.chaos-drop.{packet.kind}")
             ev.succeed(packet, delay=egress_done - self.engine.now)
             return ev
         if verdict is not None:
             hop += verdict.extra_delay_us
+            if tel is not None and verdict.extra_delay_us:
+                tel.instant(
+                    "fabric.chaos.delay", ("link", packet.src),
+                    dst=packet.dst, kind=packet.kind,
+                    extra_us=verdict.extra_delay_us,
+                )
         delivered = dst_port.schedule_rx(packet.wire_bytes, egress_done + hop)
 
         ev = self.engine.event(name=f"{self.name}.deliver.{packet.kind}")
@@ -93,11 +109,22 @@ class Network:
             packet.delivered_at = self.engine.now
             self.packets_delivered += 1
             self.bytes_delivered += packet.wire_bytes
+            if self.telemetry is not None:
+                self.telemetry.complete(
+                    "fabric.hop", ("link", packet.src),
+                    packet.injected_at, self.engine.now,
+                    dst=packet.dst, kind=packet.kind, bytes=packet.wire_bytes,
+                )
             self._handlers[packet.dst](packet)
 
         ev.add_callback(_deliver)
         ev.succeed(packet, delay=delivered - self.engine.now)
         if verdict is not None and verdict.duplicate:
+            if tel is not None:
+                tel.instant(
+                    "fabric.chaos.dup", ("link", packet.src),
+                    dst=packet.dst, kind=packet.kind,
+                )
             dup_at = dst_port.schedule_rx(
                 packet.wire_bytes, egress_done + hop + verdict.dup_extra_us
             )

@@ -72,6 +72,13 @@ class ChaosReport:
             "connect_failures": self.connect_failures,
         }
 
+    def to_metrics(self, registry) -> None:
+        """Mirror the fault/recovery counters into a telemetry metrics
+        registry (``chaos.*`` namespace); this dataclass stays the
+        in-Python view."""
+        for key, value in self.as_dict().items():
+            registry.counter(f"chaos.{key}").inc(value)
+
     def summary(self) -> str:
         return (
             f"chaos: {self.total_faults} faults injected "

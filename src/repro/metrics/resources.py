@@ -92,6 +92,35 @@ class ResourceReport:
             1, self.nprocs
         )
 
+    def to_metrics(self, registry) -> None:
+        """Mirror this report into a telemetry metrics registry.
+
+        The registry is the serialized telemetry surface; this dataclass
+        stays the in-Python view.  Per-rank gauges use the
+        ``resources.r<rank>.*`` namespace, aggregates ``resources.*``.
+        """
+        for p in self.per_process:
+            pre = f"resources.r{p.rank}"
+            registry.gauge(f"{pre}.vis_created").set(p.vis_created)
+            registry.gauge(f"{pre}.vis_used").set(p.vis_used)
+            registry.gauge(f"{pre}.connections").set(p.connections)
+            registry.gauge(f"{pre}.pinned_peak_bytes").set(p.pinned_peak_bytes)
+            registry.gauge(f"{pre}.distinct_destinations").set(
+                p.distinct_destinations)
+            registry.gauge(f"{pre}.unexpected_max_depth").set(
+                p.unexpected_max_depth)
+            registry.gauge(f"{pre}.device_checks").set(p.device_checks)
+            registry.gauge(f"{pre}.blocking_waits").set(p.blocking_waits)
+        registry.gauge("resources.avg_vis").set(self.avg_vis)
+        registry.gauge("resources.avg_vis_used").set(self.avg_vis_used)
+        registry.gauge("resources.utilization").set(self.utilization)
+        registry.gauge("resources.total_connections").set(
+            self.total_connections)
+        registry.gauge("resources.total_pinned_peak_bytes").set(
+            self.total_pinned_peak_bytes)
+        registry.gauge("resources.total_unused_pinned_bytes").set(
+            self.total_unused_pinned_bytes)
+
 
 def collect_resources(devices: Dict[int, "AbstractDevice"]) -> ResourceReport:
     """Snapshot resource usage from the per-rank ADI devices.

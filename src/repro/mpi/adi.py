@@ -98,6 +98,8 @@ class AbstractDevice:
         self._cost_us = 0.0
         # set by the job runtime
         self.conn = None  # type: ignore[assignment]
+        #: optional telemetry plane; None = untraced (zero overhead)
+        self.telemetry = None
         #: RNG for connect-retry jitter; the job runtime replaces this
         #: with a per-rank seeded stream.  Only drawn on actual retries,
         #: so fault-free runs consume nothing from it.
@@ -143,6 +145,11 @@ class AbstractDevice:
 
     def open_channel_vi(self, ch: Channel) -> None:
         """Create the channel's VI (host cost charged)."""
+        if self.telemetry is not None and ch.tel_connect is None:
+            # covers VI creation through establishment, any manager
+            ch.tel_connect = self.telemetry.begin(
+                "conn.connect", ("rank", self.rank), peer=ch.dest,
+            )
         vi, cost = self.provider.create_vi(remote_rank=ch.dest)
         self.charge(cost)
         ch.vi = vi
@@ -153,6 +160,9 @@ class AbstractDevice:
         ch.state = ChannelState.CONNECTED
         ch.connected_at = self.engine.now
         ch.last_used_at = self.engine.now
+        if ch.tel_connect is not None:
+            ch.tel_connect.end(ok=True, vi=ch.vi.vi_id)
+            ch.tel_connect = None
         if ch.pending_count:
             self._dirty.add(ch)
 
@@ -179,6 +189,10 @@ class AbstractDevice:
     def teardown_channel(self, ch: Channel) -> None:
         """Destroy the channel's VI (eviction or finalize); the channel
         object survives and can reconnect later."""
+        if ch.tel_connect is not None:
+            # connect cycle abandoned (retry exhausted / finalize)
+            ch.tel_connect.end(ok=False)
+            ch.tel_connect = None
         if ch.vi is not None:
             self._vi_to_channel.pop(ch.vi.vi_id, None)
             self.charge(self.provider.destroy_vi(ch.vi))
@@ -217,6 +231,13 @@ class AbstractDevice:
 
         ch = self.conn.channel_for(dest)
         eager = nbytes <= self.config.eager_threshold
+        if self.telemetry is not None:
+            # begin before the buffered-mode early completion below
+            req.tel_span = self.telemetry.begin(
+                "mpi.send.eager" if eager else "mpi.send.rndv",
+                ("rank", self.rank),
+                dest=dest, tag=tag, nbytes=nbytes, mode=mode.value,
+            )
 
         send_payload = payload
         if mode is SendMode.BUFFERED:
@@ -305,6 +326,10 @@ class AbstractDevice:
         if source != self.rank:
             self.conn.on_recv_posted(source)
 
+        if self.telemetry is not None:
+            req.tel_span = self.telemetry.begin(
+                "mpi.recv", ("rank", self.rank), source=source, tag=tag,
+            )
         msg = self.matching.match_posted_recv(req)
         if msg is None:
             self.matching.add_posted(req)
@@ -552,6 +577,10 @@ class AbstractDevice:
             else:
                 self.matching.add_unexpected(msg)
         elif isinstance(header, CtsHeader):
+            if self.telemetry is not None:
+                self.telemetry.instant(
+                    "mpi.rndv.cts", ("rank", self.rank), peer=header.src_rank,
+                )
             send_req = self._awaiting_cts.pop(header.send_request_id)
             region, cost = self.provider.dreg.acquire(
                 send_req.buffer, protection_tag=ch.vi.protection_tag
@@ -571,6 +600,11 @@ class AbstractDevice:
                           nbytes=send_req.nbytes),
             )
         elif isinstance(header, FinHeader):
+            if self.telemetry is not None:
+                self.telemetry.instant(
+                    "mpi.rndv.fin", ("rank", self.rank),
+                    peer=header.src_rank, nbytes=header.nbytes,
+                )
             req = self._awaiting_fin.pop(header.recv_request_id)
             ch.bytes_received += header.nbytes
             req.complete(self.engine.now)

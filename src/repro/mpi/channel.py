@@ -75,6 +75,7 @@ class Channel:
         "explicit_credit_messages", "opened_at", "connected_at",
         "last_used_at", "evictions", "evict_cooldown_until",
         "connect_attempts", "connect_deadline",
+        "tel_connect", "tel_evict",
     )
 
     def __init__(
@@ -117,6 +118,9 @@ class Channel:
         #: simulated time after which the in-flight connect is retried;
         #: +inf when connect timeouts are disabled
         self.connect_deadline = float("inf")
+        #: open telemetry spans for the current connect / eviction cycle
+        self.tel_connect = None
+        self.tel_evict = None
 
     # -- state ------------------------------------------------------------
     @property

@@ -21,6 +21,7 @@ from matching user receives.
 
 from __future__ import annotations
 
+import functools
 from typing import Optional, Sequence
 
 import numpy as np
@@ -39,6 +40,38 @@ TAG_GATHER = MAX_TAG + 7
 TAG_SCATTER = MAX_TAG + 8
 
 
+def _traced(name: str):
+    """Wrap a collective generator in a telemetry span (one per call).
+
+    The communicator is always the last positional argument; the span
+    lives on the calling rank's track and nests any pt2pt / descriptor
+    spans recorded while the collective runs.
+    """
+
+    def deco(fn):
+        @functools.wraps(fn)
+        def wrapper(mpi, *args):
+            tel = mpi._adi.telemetry
+            if tel is None:
+                result = yield from fn(mpi, *args)
+                return result
+            comm = args[-1]
+            with tel.span(name, ("rank", mpi._adi.rank), comm_size=comm.size):
+                result = yield from fn(mpi, *args)
+            return result
+
+        return wrapper
+
+    return deco
+
+
+def _round(mpi, **attrs) -> None:
+    """Mark one round of a multi-round collective (instant event)."""
+    tel = mpi._adi.telemetry
+    if tel is not None:
+        tel.instant("coll.round", ("rank", mpi._adi.rank), **attrs)
+
+
 def _floor_pow2(n: int) -> int:
     p = 1
     while p * 2 <= n:
@@ -50,6 +83,7 @@ def _empty() -> np.ndarray:
     return np.empty(0, dtype=np.uint8)
 
 
+@_traced("coll.barrier")
 def barrier(mpi, comm: Communicator):
     """Recursive-doubling barrier with MPICH non-power-of-two pre/post."""
     rank, size = comm.rank, comm.size
@@ -69,6 +103,7 @@ def barrier(mpi, comm: Communicator):
     mask = 1
     while mask < m:
         partner = rank ^ mask
+        _round(mpi, coll="barrier", mask=mask, partner=partner)
         yield from mpi._sendrecv_coll(token, partner, inbox, partner,
                                       TAG_BARRIER, comm)
         mask *= 2
@@ -76,6 +111,7 @@ def barrier(mpi, comm: Communicator):
         yield from mpi._send_coll(token, rank + m, TAG_BARRIER, comm)
 
 
+@_traced("coll.bcast")
 def bcast(mpi, buf: np.ndarray, root: int, comm: Communicator):
     """Binomial-tree broadcast (in place in ``buf``)."""
     rank, size = comm.rank, comm.size
@@ -100,6 +136,7 @@ def bcast(mpi, buf: np.ndarray, root: int, comm: Communicator):
         mask //= 2
 
 
+@_traced("coll.reduce")
 def reduce(
     mpi, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
     op: Op, root: int, comm: Communicator,
@@ -130,6 +167,7 @@ def reduce(
     return None
 
 
+@_traced("coll.allreduce")
 def allreduce(
     mpi, sendbuf: np.ndarray, recvbuf: np.ndarray, op: Op, comm: Communicator,
 ):
@@ -151,6 +189,7 @@ def allreduce(
         mask = 1
         while mask < m:
             partner = rank ^ mask
+            _round(mpi, coll="allreduce", mask=mask, partner=partner)
             yield from mpi._sendrecv_coll(acc, partner, inbox, partner,
                                           TAG_ALLREDUCE, comm)
             # order operands by rank for non-commutative safety
@@ -161,6 +200,7 @@ def allreduce(
     recvbuf[...] = acc
 
 
+@_traced("coll.allgather")
 def allgather(
     mpi, sendbuf: np.ndarray, recvbuf: np.ndarray, comm: Communicator,
 ):
@@ -205,6 +245,7 @@ def allgather(
             )
 
 
+@_traced("coll.alltoall")
 def alltoall(
     mpi, sendbuf: np.ndarray, recvbuf: np.ndarray, comm: Communicator,
 ):
@@ -223,6 +264,7 @@ def alltoall(
         else:
             send_to = (rank + step) % size
             recv_from = (rank - step) % size
+        _round(mpi, coll="alltoall", step=step, partner=send_to)
         yield from mpi._sendrecv_coll(
             sendbuf[send_to * block : (send_to + 1) * block], send_to,
             recvbuf[recv_from * block : (recv_from + 1) * block], recv_from,
@@ -230,6 +272,7 @@ def alltoall(
         )
 
 
+@_traced("coll.alltoallv")
 def alltoallv(
     mpi,
     sendbuf: np.ndarray, sendcounts: Sequence[int], sdispls: Sequence[int],
@@ -255,6 +298,7 @@ def alltoallv(
         )
 
 
+@_traced("coll.gather")
 def gather(
     mpi, sendbuf: np.ndarray, recvbuf: Optional[np.ndarray],
     root: int, comm: Communicator,
@@ -276,6 +320,7 @@ def gather(
         yield from mpi._send_coll(sendbuf, root, TAG_GATHER, comm)
 
 
+@_traced("coll.scatter")
 def scatter(
     mpi, sendbuf: Optional[np.ndarray], recvbuf: np.ndarray,
     root: int, comm: Communicator,

@@ -49,10 +49,19 @@ class BaseConnectionManager:
     def finalize_phase(self):
         """Generator run during MPI_Finalize: tear the VIs down."""
         adi = self.adi
+        destroyed = 0
         for ch in adi.channels.values():
+            if ch.tel_connect is not None:
+                ch.tel_connect.end(ok=False)
+                ch.tel_connect = None
             if ch.vi is not None:
                 adi.charge(adi.provider.destroy_vi(ch.vi))
+                destroyed += 1
         adi.charge(adi.provider.dreg.flush())
+        if adi.telemetry is not None:
+            adi.telemetry.instant(
+                "conn.finalize", ("rank", adi.rank), vis_destroyed=destroyed,
+            )
         yield adi.flush_cost()
 
     # -- hooks ----------------------------------------------------------------
@@ -123,6 +132,11 @@ class BaseConnectionManager:
         adi = self.adi
         self.connect_retries += 1
         ch.connect_attempts += 1
+        if adi.telemetry is not None:
+            adi.telemetry.instant(
+                "conn.retry", ("rank", adi.rank),
+                peer=ch.dest, attempt=ch.connect_attempts,
+            )
         adi.charge(adi.provider.connect_peer_retry(
             ch.vi, adi.rank_to_node(ch.dest), ch.dest))
         self._arm_connect_deadline(ch)
@@ -133,6 +147,11 @@ class BaseConnectionManager:
         adi = self.adi
         now = adi.engine.now
         self.connect_failures += 1
+        if adi.telemetry is not None:
+            adi.telemetry.instant(
+                "conn.fail", ("rank", adi.rank),
+                peer=ch.dest, attempts=ch.connect_attempts,
+            )
         exc = ConnectionFailed(
             f"rank {adi.rank}: connection to rank {ch.dest} failed after "
             f"{ch.connect_attempts} attempts"

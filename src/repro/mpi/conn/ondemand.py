@@ -140,6 +140,10 @@ class OnDemandConnectionManager(BaseConnectionManager):
         adi = self.adi
         ch.state = ChannelState.DRAINING
         self.evictions += 1
+        if adi.telemetry is not None and ch.tel_evict is None:
+            ch.tel_evict = adi.telemetry.begin(
+                "conn.evict", ("rank", adi.rank), peer=ch.dest,
+            )
         adi.charge(adi.profile.connection.host_request_us)
         adi.provider.agent.disconnect_request(
             adi.rank_to_node(ch.dest),
@@ -197,12 +201,18 @@ class OnDemandConnectionManager(BaseConnectionManager):
             if ch is None or ch.state is not ChannelState.DRAINING:
                 return  # simultaneous eviction already resolved this side
             if message.ack:
+                if ch.tel_evict is not None:
+                    ch.tel_evict.end(ok=True, ack=True)
+                    ch.tel_evict = None
                 adi.teardown_channel(ch)  # resets the credit window
                 if ch.pending_count:
                     # work arrived while draining: get back in line
                     self._activate(ch)
             else:
                 self.eviction_nacks += 1
+                if ch.tel_evict is not None:
+                    ch.tel_evict.end(ok=False, ack=False)
+                    ch.tel_evict = None
                 ch.credits += message.returns_owed
                 ch.state = ChannelState.CONNECTED
                 # the peer is busy with us: stop badgering it for a while

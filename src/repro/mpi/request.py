@@ -51,7 +51,7 @@ class Request:
         "request_id", "kind", "state", "comm_context", "peer", "tag",
         "mode", "buffer", "nbytes", "status", "match_seq",
         "rndv_handle", "rndv_region", "temp_copy", "error",
-        "completed_at", "posted_at",
+        "completed_at", "posted_at", "tel_span",
     )
 
     def __init__(
@@ -87,6 +87,8 @@ class Request:
         self.error: Optional[BaseException] = None
         self.completed_at: float = -1.0
         self.posted_at = posted_at
+        #: open telemetry span (post -> completion), if the job is traced
+        self.tel_span = None
 
     @property
     def done(self) -> bool:
@@ -97,6 +99,9 @@ class Request:
             raise RuntimeError(f"request {self.request_id} completed twice")
         self.state = RequestState.COMPLETE
         self.completed_at = now
+        if self.tel_span is not None:
+            self.tel_span.end(ok=self.error is None)
+            self.tel_span = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -9,8 +9,10 @@ protocol interleavings.
 
 from __future__ import annotations
 
+import hashlib
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Deque, Optional
 
 from repro.sim.engine import Event, TraceHook
 
@@ -40,7 +42,7 @@ class TraceRecorder(TraceHook):
     """
 
     def __init__(self, limit: Optional[int] = None, name_filter: Optional[str] = None):
-        self.records: List[TraceRecord] = []
+        self.records: Deque[TraceRecord] = deque(maxlen=limit)
         self.limit = limit
         self.name_filter = name_filter
         self.dropped = 0
@@ -48,14 +50,18 @@ class TraceRecorder(TraceHook):
     def on_event(self, now: float, event: Event) -> None:
         if self.name_filter is not None and self.name_filter not in event.name:
             return
+        if self.limit is not None and len(self.records) == self.limit:
+            self.dropped += 1  # deque evicts the oldest on append
         self.records.append(TraceRecord(now, event.name, bool(event.ok)))
-        if self.limit is not None and len(self.records) > self.limit:
-            del self.records[0]
-            self.dropped += 1
 
-    def fingerprint(self) -> int:
-        """A stable hash of the full trace (for determinism assertions)."""
-        return hash(tuple((r.time, r.name, r.ok) for r in self.records))
+    def fingerprint(self) -> str:
+        """SHA-256 hex digest of the trace, stable across processes and
+        platforms (unlike ``hash()``, which is salted per process for
+        strings) — for determinism assertions."""
+        h = hashlib.sha256()
+        for r in self.records:
+            h.update(f"{r.time!r}|{r.name}|{int(r.ok)}\n".encode())
+        return h.hexdigest()
 
     def dump(self) -> str:
         """Human-readable rendering of the trace."""

@@ -1,0 +1,53 @@
+"""Structured telemetry for the simulated MPI/VIA stack.
+
+Public surface:
+
+* :class:`Telemetry` / :class:`TelemetryConfig` — the recording plane,
+  attached to a job via ``run_job(..., telemetry=TelemetryConfig())``;
+* :class:`MetricsRegistry` (+ :class:`Counter`, :class:`Gauge`,
+  :class:`Histogram`) — deterministic numeric metrics;
+* exporters — :func:`export_jsonl`, :func:`export_chrome_trace`
+  (Perfetto-loadable), :func:`summary_experiment` (text table).
+"""
+
+from repro.telemetry.core import (
+    InstantRecord,
+    SpanHandle,
+    SpanRecord,
+    Telemetry,
+    TelemetryConfig,
+    Track,
+)
+from repro.telemetry.export import (
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    jsonl_lines,
+    summary_experiment,
+)
+from repro.telemetry.metrics import (
+    DEFAULT_LATENCY_EDGES_US,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "Track",
+    "SpanRecord",
+    "InstantRecord",
+    "SpanHandle",
+    "MetricsRegistry",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_LATENCY_EDGES_US",
+    "jsonl_lines",
+    "export_jsonl",
+    "chrome_trace",
+    "export_chrome_trace",
+    "summary_experiment",
+]

@@ -1,0 +1,284 @@
+"""Structured telemetry: spans, instants and the recording plane.
+
+One :class:`Telemetry` object per job collects three record kinds:
+
+* **spans** — named intervals of simulated time with attributes and
+  parent links (``conn.connect``, ``mpi.send.eager``, ``coll.barrier``,
+  ``nic.tx`` ...), in the spirit of the MPI profiling interface and
+  trace tools (Vampir/TAU) the paper's lineage cites;
+* **instants** — point events (``conn.retry``, ``fabric.chaos.drop``);
+* **metrics** — the :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+Every record lives on a **track**: ``("rank", r)`` for per-process MPI
+work, ``("node", n)`` for NIC firmware service, ``("link", n)`` for
+fabric hops.  Chrome-trace export maps tracks to pid/tid pairs so
+Perfetto shows one lane per rank.
+
+Determinism contract: timestamps come exclusively from the simulated
+clock (``engine.now``), record sequence numbers are assigned in
+recording order, and recording never schedules engine events — so
+telemetry cannot perturb a run, and two same-seed runs record
+identical streams.  Zero overhead when disabled: components hold
+``telemetry = None`` and instrumentation sites guard with a single
+attribute test; no object of this module exists in an untraced run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+#: (group, index) — e.g. ("rank", 0), ("node", 2), ("link", 1)
+Track = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class TelemetryConfig:
+    """What to record.
+
+    ``categories`` filters by the leading dotted component of the event
+    name (``"conn"``, ``"mpi"``, ``"coll"``, ``"nic"``, ``"fabric"``,
+    ``"via"``); ``None`` keeps everything.  ``max_events`` bounds the
+    stream: past it, new spans/instants are counted in ``dropped`` but
+    not stored (drop-newest keeps parent links valid and stays
+    deterministic).  ``span_durations`` feeds every completed span's
+    duration into a fixed-edge histogram named ``span.<name>.us``.
+    """
+
+    enabled: bool = True
+    categories: Optional[Tuple[str, ...]] = None
+    max_events: Optional[int] = None
+    span_durations: bool = True
+
+
+@dataclass
+class SpanRecord:
+    """One named interval on a track (closed or still open)."""
+
+    seq: int
+    name: str
+    track: Track
+    start_us: float
+    end_us: Optional[float] = None
+    parent: Optional[int] = None
+    ok: bool = True
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cat(self) -> str:
+        return self.name.split(".", 1)[0]
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us if self.end_us is not None else self.start_us) - self.start_us
+
+    @property
+    def open(self) -> bool:
+        return self.end_us is None
+
+
+@dataclass
+class InstantRecord:
+    """One point event on a track."""
+
+    seq: int
+    name: str
+    track: Track
+    ts_us: float
+    attrs: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def cat(self) -> str:
+        return self.name.split(".", 1)[0]
+
+
+class SpanHandle:
+    """Mutable handle to an open span (async begin/end form)."""
+
+    __slots__ = ("_tel", "record")
+
+    def __init__(self, tel: "Telemetry", record: SpanRecord):
+        self._tel = tel
+        self.record = record
+
+    def set(self, **attrs: Any) -> "SpanHandle":
+        self.record.attrs.update(attrs)
+        return self
+
+    def end(self, ok: bool = True, **attrs: Any) -> None:
+        """Close the span at the current simulated time (idempotent)."""
+        rec = self.record
+        if rec.end_us is not None:
+            return
+        rec.end_us = self._tel.engine.now
+        rec.ok = ok
+        if attrs:
+            rec.attrs.update(attrs)
+        self._tel._on_span_end(rec)
+
+
+class _NullCtx:
+    """Context manager for filtered-out / disabled spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NULL_CTX = _NullCtx()
+
+
+class _SpanCtx:
+    """Context manager wrapping a stack-tracked span."""
+
+    __slots__ = ("_tel", "_handle")
+
+    def __init__(self, tel: "Telemetry", handle: SpanHandle):
+        self._tel = tel
+        self._handle = handle
+
+    def __enter__(self) -> SpanHandle:
+        return self._handle
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tel._pop(self._handle.record)
+        self._handle.end(ok=exc_type is None)
+        return False
+
+
+class Telemetry:
+    """The recording plane of one simulated job."""
+
+    def __init__(self, engine: Engine, config: Optional[TelemetryConfig] = None):
+        self.engine = engine
+        self.config = config or TelemetryConfig()
+        self.metrics = MetricsRegistry()
+        self.spans: List[SpanRecord] = []
+        self.instants: List[InstantRecord] = []
+        #: records not stored because max_events was reached
+        self.dropped = 0
+        self._seq = 0
+        #: per-track stack of open *lexical* spans (context-manager form)
+        self._stacks: Dict[Track, List[SpanRecord]] = {}
+
+    # -- recording ----------------------------------------------------------
+    def _keep(self, name: str) -> bool:
+        cats = self.config.categories
+        return cats is None or name.split(".", 1)[0] in cats
+
+    def _room(self) -> bool:
+        limit = self.config.max_events
+        if limit is not None and len(self.spans) + len(self.instants) >= limit:
+            self.dropped += 1
+            return False
+        return True
+
+    def begin(self, name: str, track: Track, **attrs: Any) -> Optional[SpanHandle]:
+        """Open a span now; close it via the returned handle's ``end()``.
+
+        Returns ``None`` when the event is filtered out or the stream is
+        full — callers store the handle and guard on it.
+        """
+        if not self._keep(name) or not self._room():
+            return None
+        stack = self._stacks.get(track)
+        self._seq += 1
+        rec = SpanRecord(
+            seq=self._seq, name=name, track=track, start_us=self.engine.now,
+            parent=stack[-1].seq if stack else None,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self.spans.append(rec)
+        return SpanHandle(self, rec)
+
+    def span(self, name: str, track: Track, **attrs: Any):
+        """Lexical span: ``with tel.span("coll.barrier", ("rank", 0)):``.
+
+        Participates in the per-track parent stack, so spans opened
+        inside (by either form) are linked as children.  Safe to hold
+        across generator yields — the stack is per track and one rank's
+        generator code is sequential.
+        """
+        handle = self.begin(name, track, **attrs)
+        if handle is None:
+            return _NULL_CTX
+        self._stacks.setdefault(track, []).append(handle.record)
+        return _SpanCtx(self, handle)
+
+    def complete(
+        self, name: str, track: Track, start_us: float, end_us: float,
+        **attrs: Any,
+    ) -> None:
+        """Record a span whose window is already known (e.g. a NIC
+        service slot computed at scheduling time)."""
+        if not self._keep(name) or not self._room():
+            return
+        stack = self._stacks.get(track)
+        self._seq += 1
+        rec = SpanRecord(
+            seq=self._seq, name=name, track=track, start_us=start_us,
+            end_us=end_us, parent=stack[-1].seq if stack else None,
+            attrs=dict(attrs) if attrs else {},
+        )
+        self.spans.append(rec)
+        self._on_span_end(rec)
+
+    def instant(self, name: str, track: Track, **attrs: Any) -> None:
+        """Record a point event at the current simulated time."""
+        if not self._keep(name) or not self._room():
+            return
+        self._seq += 1
+        self.instants.append(
+            InstantRecord(
+                seq=self._seq, name=name, track=track, ts_us=self.engine.now,
+                attrs=dict(attrs) if attrs else {},
+            )
+        )
+
+    def _pop(self, rec: SpanRecord) -> None:
+        stack = self._stacks.get(rec.track)
+        if stack and rec in stack:
+            stack.remove(rec)
+
+    def _on_span_end(self, rec: SpanRecord) -> None:
+        if self.config.span_durations:
+            self.metrics.histogram(f"span.{rec.name}.us").observe(rec.duration_us)
+
+    # -- metrics passthrough -------------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str, edges=None) -> Histogram:
+        return self.metrics.histogram(name, edges)
+
+    # -- lifecycle -----------------------------------------------------------
+    def finish(self, now: Optional[float] = None) -> None:
+        """Close any straggler spans (e.g. a connect still in flight at
+        finalize) at ``now`` so exports contain no open intervals."""
+        end = self.engine.now if now is None else now
+        for rec in self.spans:
+            if rec.end_us is None:
+                rec.end_us = end
+                rec.attrs["unfinished"] = True
+                self._on_span_end(rec)
+        self._stacks.clear()
+
+    # -- introspection helpers (tests, reports) -------------------------------
+    def spans_named(self, name: str) -> List[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Telemetry spans={len(self.spans)} instants={len(self.instants)} "
+            f"metrics={len(self.metrics)}>"
+        )

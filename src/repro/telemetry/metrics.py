@@ -1,0 +1,176 @@
+"""Metrics registry: counters, gauges and sim-time histograms.
+
+The registry is the canonical *numeric* telemetry surface: every layer
+increments named counters/gauges here, span durations feed histograms
+automatically, and the job runtime ingests the legacy
+:class:`~repro.metrics.resources.ResourceReport` /
+:class:`~repro.metrics.chaos.ChaosReport` snapshots so one export
+(JSONL / summary table) covers everything.  Those dataclasses remain
+the in-Python views; the registry supersedes them as the serialized
+surface.
+
+Determinism: histograms use **fixed bucket edges** chosen at creation
+(defaulting to :data:`DEFAULT_LATENCY_EDGES_US`), values come from the
+simulated clock only, and every export is sorted by metric name — two
+same-seed runs serialize byte-identically.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from typing import Dict, List, Optional, Sequence, Tuple
+
+#: default sim-time (µs) bucket edges — geometric 1/2/5 decades spanning
+#: sub-µs host costs up to second-scale job phases.  Fixed, so exported
+#: bucket layouts never depend on the data.
+DEFAULT_LATENCY_EDGES_US: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0,
+    100_000.0, 200_000.0, 500_000.0, 1_000_000.0,
+)
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Counter {self.name}={self.value}>"
+
+
+class Gauge:
+    """A last-write-wins value (snapshot metrics)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value: float = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Gauge {self.name}={self.value}>"
+
+
+class Histogram:
+    """Fixed-edge histogram of simulated-time observations.
+
+    ``counts[i]`` counts observations ``<= edges[i]`` (and greater than
+    the previous edge); ``counts[-1]`` is the overflow bucket.  Edges
+    are immutable after creation so the exported layout is a pure
+    function of code, never of data.
+    """
+
+    __slots__ = ("name", "edges", "counts", "count", "total", "max")
+
+    def __init__(self, name: str, edges: Sequence[float] = DEFAULT_LATENCY_EDGES_US):
+        if list(edges) != sorted(edges) or len(edges) != len(set(edges)):
+            raise ValueError(f"histogram edges must be strictly increasing: {edges}")
+        self.name = name
+        self.edges: Tuple[float, ...] = tuple(float(e) for e in edges)
+        self.counts: List[int] = [0] * (len(self.edges) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.max = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.count += 1
+        self.total += value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def as_dict(self) -> dict:
+        """Stable-keyed dict for JSON export (edges always included)."""
+        return {
+            "edges": list(self.edges),
+            "counts": list(self.counts),
+            "count": self.count,
+            "sum": self.total,
+            "max": self.max,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Histogram {self.name} n={self.count} mean={self.mean:.2f}>"
+
+
+class MetricsRegistry:
+    """Named counters, gauges and histograms of one job."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # -- accessors (create on first use) -----------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge(name)
+        return g
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(
+                name, DEFAULT_LATENCY_EDGES_US if edges is None else edges
+            )
+        elif edges is not None and tuple(float(e) for e in edges) != h.edges:
+            raise ValueError(
+                f"histogram {name!r} already exists with different edges"
+            )
+        return h
+
+    # -- read-only views ---------------------------------------------------
+    @property
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    @property
+    def gauges(self) -> Dict[str, float]:
+        return {name: g.value for name, g in sorted(self._gauges.items())}
+
+    @property
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(sorted(self._histograms.items()))
+
+    def as_dict(self) -> dict:
+        """Deterministic nested dict (all sections name-sorted)."""
+        return {
+            "counters": self.counters,
+            "gauges": self.gauges,
+            "histograms": {
+                name: h.as_dict() for name, h in self.histograms.items()
+            },
+        }
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<MetricsRegistry counters={len(self._counters)} "
+            f"gauges={len(self._gauges)} histograms={len(self._histograms)}>"
+        )

@@ -49,6 +49,7 @@ class Descriptor:
         "length",
         "completed_at",
         "context",
+        "tel_span",
     )
 
     def __init__(
@@ -82,6 +83,8 @@ class Descriptor:
         self.completed_at: float = -1.0
         #: upper-layer cookie (MVICH hangs its request objects here)
         self.context = context
+        #: open telemetry span (post -> completion), if the VI is traced
+        self.tel_span = None
 
     @property
     def done(self) -> bool:
@@ -93,6 +96,12 @@ class Descriptor:
         self.status = status
         self.length = length
         self.completed_at = now
+        if self.tel_span is not None:
+            self.tel_span.end(
+                ok=status is DescriptorStatus.SUCCESS,
+                status=status.value, nbytes=length,
+            )
+            self.tel_span = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -39,6 +39,7 @@ from repro.via.vi import VI
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.chaos.plan import FaultPlan
+    from repro.telemetry.core import Telemetry
     from repro.via.agent import ConnectionAgent
     from repro.via.provider import ViaProvider
 
@@ -70,6 +71,8 @@ class Nic:
         self.network = network
         self.port = network.attach(node_id, self._on_packet)
         self.agent: Optional["ConnectionAgent"] = None
+        #: optional telemetry plane; None = untraced (zero overhead)
+        self.telemetry: Optional["Telemetry"] = None
 
         self._vis: Dict[int, VI] = {}
         self._owners: Dict[int, "ViaProvider"] = {}
@@ -79,11 +82,13 @@ class Nic:
         self._tx_queue: Deque[VI] = deque()
         self._tx_scheduled = False
         self._tx_busy_until = 0.0
+        self._tx_window = (0.0, 0.0)
 
         # serial receive engine
         self._rx_queue: Deque[Packet] = deque()
         self._rx_scheduled = False
         self._rx_busy_until = 0.0
+        self._rx_window = (0.0, 0.0)
 
         #: arrivals for VIs whose connection handshake has not finished
         #: locally yet (the peer may legitimately be CONNECTED and sending
@@ -165,6 +170,7 @@ class Nic:
         service = self.profile.nic_send_service_us(self.active_vi_count)
         done = start + service
         self._tx_busy_until = done
+        self._tx_window = (start, done)  # exactly one tx service in flight
         self.engine.schedule(done - self.engine.now, self._service_one_tx)
 
     def _service_one_tx(self) -> None:
@@ -174,6 +180,12 @@ class Nic:
         if desc is None:  # pragma: no cover - doorbell/descriptor invariant
             raise ViaProtocolError(f"doorbell rung on VI {vi.vi_id} with empty send queue")
         if vi.state is not ViState.CONNECTED or vi.peer is None:
+            if self.telemetry is not None:
+                start, done = self._tx_window
+                self.telemetry.complete(
+                    "nic.tx", ("node", self.node_id), start, done,
+                    vi=vi.vi_id, kind="flushed", bytes=0,
+                )
             desc.complete(DescriptorStatus.FLUSHED, 0, self.engine.now)
         else:
             remote_node, remote_vi = vi.peer
@@ -212,6 +224,12 @@ class Nic:
                        payload=msg, kind=kind)
             )
             self.messages_sent += 1
+            if self.telemetry is not None:
+                start, done = self._tx_window
+                self.telemetry.complete(
+                    "nic.tx", ("node", self.node_id), start, done,
+                    vi=vi.vi_id, kind=kind, bytes=wire,
+                )
             desc.complete(DescriptorStatus.SUCCESS, msg.nbytes, self.engine.now)
         vi.send_cq.push(desc)
         self.owner_of(vi).activity.fire()
@@ -243,6 +261,11 @@ class Nic:
         if item.attempts > plan.retransmit_limit:
             del table[seq]
             self.rtx_exhausted += 1
+            if self.telemetry is not None:
+                self.telemetry.instant(
+                    "nic.rtx.exhausted", ("node", self.node_id),
+                    vi=vi_id, seq=seq, kind=item.kind,
+                )
             self.engine.timeout(0.0, name=f"chaos.rtx-exhausted.{item.kind}")
             vi = self.lookup_vi(vi_id)
             if vi is not None:
@@ -252,6 +275,11 @@ class Nic:
                     owner.on_transport_failure(vi)
             return
         self.retransmissions += 1
+        if self.telemetry is not None:
+            self.telemetry.instant(
+                "nic.rtx", ("node", self.node_id),
+                vi=vi_id, seq=seq, attempt=item.attempts, kind=item.kind,
+            )
         self.network.send(
             Packet(src=self.node_id, dst=item.dst_node,
                    wire_bytes=item.wire_bytes, payload=item.msg,
@@ -365,6 +393,7 @@ class Nic:
         service = self.profile.nic_recv_service_us(self.active_vi_count)
         done = start + service
         self._rx_busy_until = done
+        self._rx_window = (start, done)  # exactly one rx service in flight
         self.engine.schedule(done - self.engine.now, self._service_one_rx)
 
     def _service_one_rx(self) -> None:
@@ -372,6 +401,12 @@ class Nic:
         packet = self._rx_queue.popleft()
         msg = packet.payload
         vi = self.lookup_vi(msg.dst_vi_id)
+        if self.telemetry is not None:
+            start, done = self._rx_window
+            self.telemetry.complete(
+                "nic.rx", ("node", self.node_id), start, done,
+                vi=msg.dst_vi_id, kind=packet.kind, bytes=packet.wire_bytes,
+            )
         if vi is not None and vi.state is ViState.CONNECT_PENDING:
             # our side of the handshake is still in the kernel agent;
             # hold the packet and re-service it at establishment
@@ -384,6 +419,11 @@ class Nic:
                 self.rtx_stale += 1
             else:
                 self.dropped_bad_vi += 1
+                if self.telemetry is not None:
+                    self.telemetry.instant(
+                        "nic.drop", ("node", self.node_id),
+                        reason="bad_vi", vi=msg.dst_vi_id,
+                    )
         elif msg.seq > 0:
             self._reliable_deliver(vi, packet.src, msg)
         elif isinstance(msg, DataMessage):
@@ -400,6 +440,11 @@ class Nic:
         if desc is None:
             # VIA semantics: no pre-posted descriptor => message dropped.
             self.dropped_no_recv_descriptor += 1
+            if self.telemetry is not None:
+                self.telemetry.instant(
+                    "nic.drop", ("node", self.node_id),
+                    reason="no_recv_descriptor", vi=vi.vi_id,
+                )
             return False
         nbytes = msg.nbytes
         if msg.data is not None:

@@ -83,6 +83,9 @@ class ViaProvider:
         self.recv_cq = CompletionQueue(f"recv-cq.r{rank}")
         self.dreg = RegistrationCache(registry)
         agent.register_local(self)
+        #: optional telemetry plane; None = untraced (zero overhead).
+        #: Propagated to each VI at creation.
+        self.telemetry = None
 
         #: agent-delivered disconnect control messages awaiting the MPI
         #: layer's next progress pass
@@ -121,6 +124,7 @@ class ViaProvider:
             send_pool=send_pool,
         )
         vi.remote_rank = remote_rank
+        vi.telemetry = self.telemetry
         self.nic.attach_vi(vi, self)
         self._vis[vi.vi_id] = vi
         cost = (
@@ -324,6 +328,8 @@ class ViaProvider:
     def on_connection_established(self, vi: VI) -> None:
         """Agent callback when one of our VIs transitions to CONNECTED."""
         self.connections_established += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("via.connections_established").inc()
         self.activity.fire()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

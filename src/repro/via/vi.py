@@ -47,6 +47,7 @@ class VI:
         "tx_seq",
         "rx_cum",
         "rx_ooo",
+        "telemetry",
     )
 
     def __init__(
@@ -90,6 +91,8 @@ class VI:
         self.tx_seq = 0
         self.rx_cum = 0
         self.rx_ooo: dict = {}
+        #: optional telemetry plane (set by the provider); None = untraced
+        self.telemetry = None
 
     # -- connection state ---------------------------------------------------
     @property
@@ -119,6 +122,8 @@ class VI:
             raise ViaProtocolError("only RECV descriptors go on the receive queue")
         self._recv_queue.append(descriptor)
         self.recvs_posted += 1
+        if self.telemetry is not None:
+            self.telemetry.counter("via.recvs_posted").inc()
 
     def pop_recv(self) -> Optional[Descriptor]:
         """NIC side: consume the oldest pre-posted receive, or None."""
@@ -142,6 +147,14 @@ class VI:
             )
         if descriptor.op not in (DescriptorOp.SEND, DescriptorOp.RDMA_WRITE):
             raise ViaProtocolError("only SEND/RDMA descriptors go on the send queue")
+        if self.telemetry is not None:
+            name = (
+                "via.desc.send" if descriptor.op is DescriptorOp.SEND
+                else "via.desc.rdma"
+            )
+            descriptor.tel_span = self.telemetry.begin(
+                name, ("rank", self.owner_rank), vi=self.vi_id,
+            )
         self._send_backlog.append(descriptor)
         self.sends_posted += 1
 

@@ -21,6 +21,7 @@ def run(
     allow_drops: bool = False,
     per_rank_args: Optional[List[tuple]] = None,
     fault_plan=None,
+    telemetry=None,
     **config_kwargs: Any,
 ):
     """Run ``program`` on a small cluster; returns the JobResult."""
@@ -31,7 +32,7 @@ def run(
     return run_job(
         spec, nprocs, program, config,
         allow_drops=allow_drops, per_rank_args=per_rank_args,
-        fault_plan=fault_plan,
+        fault_plan=fault_plan, telemetry=telemetry,
     )
 
 

@@ -131,6 +131,65 @@ class TestDeterminism:
             prints.append(tr.fingerprint())
         assert prints[0] == prints[1]
 
+    def test_fingerprint_is_sha256_hex(self):
+        tr = TraceRecorder()
+        eng = Engine(trace=tr)
+
+        def prog():
+            yield eng.timeout(1.0, name="tick")
+
+        eng.process(prog())
+        eng.run()
+        fp = tr.fingerprint()
+        assert isinstance(fp, str) and len(fp) == 64
+        int(fp, 16)  # valid hex
+
+    def test_fingerprint_stable_across_hash_seeds(self):
+        """SHA-256 digests (unlike hash()) must not depend on the
+        interpreter's per-process string-hash salt."""
+        import subprocess
+        import sys
+
+        code = (
+            "from repro.cluster import ClusterSpec, run_job\n"
+            "from repro.mpi import MpiConfig\n"
+            "from repro.sim import Engine\n"
+            "from repro.sim.trace import TraceRecorder\n"
+            "def prog(mpi):\n"
+            "    yield from mpi.barrier()\n"
+            "tr = TraceRecorder()\n"
+            "run_job(ClusterSpec(nodes=2, ppn=1, seed=4), 2, prog,\n"
+            "        MpiConfig(), engine=Engine(trace=tr))\n"
+            "print(tr.fingerprint())\n"
+        )
+        digests = []
+        for hash_seed in ("1", "99"):
+            out = subprocess.run(
+                [sys.executable, "-c", code],
+                capture_output=True, text=True, check=True,
+                env={"PYTHONHASHSEED": hash_seed, "PYTHONPATH": "src"},
+                cwd=str(__import__("pathlib").Path(__file__).parent.parent),
+            )
+            digests.append(out.stdout.strip())
+        assert digests[0] == digests[1]
+        assert len(digests[0]) == 64
+
+    def test_bounded_recorder_keeps_newest_and_counts_drops(self):
+        tr = TraceRecorder(limit=3)
+        eng = Engine(trace=tr)
+
+        def prog():
+            for _ in range(5):
+                yield eng.timeout(1.0, name="tick")
+
+        eng.process(prog())
+        eng.run()
+        assert len(tr.records) == 3
+        assert tr.dropped >= 1
+        # newest survive: the last record is the final processed event
+        assert tr.records[-1].time == eng.now
+        assert "dropped" in tr.dump()
+
 
 class TestChaosDeterminism:
     """Fault injection is seeded: chaos is exactly reproducible."""

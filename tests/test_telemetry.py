@@ -1,0 +1,278 @@
+"""Telemetry plane: spans, metrics, exporters, and the no-perturbation
+and byte-determinism contracts."""
+
+import io
+import json
+
+import numpy as np
+import pytest
+
+from repro.apps.npb import KERNELS
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.sim import Engine
+from repro.telemetry import (
+    DEFAULT_LATENCY_EDGES_US,
+    Histogram,
+    MetricsRegistry,
+    Telemetry,
+    TelemetryConfig,
+    chrome_trace,
+    export_chrome_trace,
+    export_jsonl,
+    jsonl_lines,
+    summary_experiment,
+)
+
+from tests.mpi_rig import run
+
+
+class TestSpans:
+    def test_span_nesting_and_parents(self):
+        tel = Telemetry(Engine())
+        with tel.span("coll.allreduce", ("rank", 0), comm_size=4):
+            with tel.span("mpi.recv", ("rank", 0)):
+                tel.instant("mpi.rndv.cts", ("rank", 0), peer=1)
+        outer, inner = tel.spans
+        assert outer.name == "coll.allreduce"
+        assert outer.parent is None
+        assert outer.attrs == {"comm_size": 4}
+        assert inner.parent == outer.seq
+        assert tel.instants[0].name == "mpi.rndv.cts"
+        # closed by the context managers, in inner-first order
+        assert not outer.open and not inner.open
+
+    def test_stacks_are_per_track(self):
+        tel = Telemetry(Engine())
+        with tel.span("mpi.init", ("rank", 0)):
+            h = tel.begin("nic.tx", ("node", 0))
+            assert h.record.parent is None  # different track, no nesting
+            h.end()
+
+    def test_begin_end_handle_is_idempotent(self):
+        eng = Engine()
+        tel = Telemetry(eng)
+        h = tel.begin("conn.connect", ("rank", 0), peer=1)
+        eng.now = 10.0
+        h.end(ok=True, vi=3)
+        eng.now = 20.0
+        h.end(ok=False)  # second end is a no-op
+        rec = h.record
+        assert rec.end_us == 10.0 and rec.ok is True
+        assert rec.attrs == {"peer": 1, "vi": 3}
+        assert rec.duration_us == 10.0
+
+    def test_span_ctx_marks_failure_on_exception(self):
+        tel = Telemetry(Engine())
+        with pytest.raises(RuntimeError):
+            with tel.span("coll.barrier", ("rank", 0)):
+                raise RuntimeError("boom")
+        assert tel.spans[0].ok is False
+
+    def test_category_filter(self):
+        tel = Telemetry(Engine(), TelemetryConfig(categories=("conn", "mpi")))
+        assert tel.begin("conn.connect", ("rank", 0)) is not None
+        assert tel.begin("nic.tx", ("node", 0)) is None
+        tel.instant("fabric.hop", ("link", 0))
+        tel.instant("mpi.rndv.fin", ("rank", 0))
+        assert [s.name for s in tel.spans] == ["conn.connect"]
+        assert [i.name for i in tel.instants] == ["mpi.rndv.fin"]
+
+    def test_max_events_drops_newest_and_counts(self):
+        tel = Telemetry(Engine(), TelemetryConfig(max_events=2))
+        tel.instant("mpi.a", ("rank", 0))
+        tel.instant("mpi.b", ("rank", 0))
+        assert tel.begin("mpi.c", ("rank", 0)) is None
+        tel.instant("mpi.d", ("rank", 0))
+        assert [i.name for i in tel.instants] == ["mpi.a", "mpi.b"]
+        assert tel.dropped == 2
+
+    def test_finish_closes_stragglers(self):
+        eng = Engine()
+        tel = Telemetry(eng)
+        h = tel.begin("conn.connect", ("rank", 0))
+        tel.finish(now=42.0)
+        assert h.record.end_us == 42.0
+        assert h.record.attrs.get("unfinished") is True
+
+    def test_complete_records_past_window(self):
+        eng = Engine()
+        eng.now = 100.0
+        tel = Telemetry(eng)
+        tel.complete("nic.tx", ("node", 1), 80.0, 95.0, bytes=64)
+        rec = tel.spans[0]
+        assert (rec.start_us, rec.end_us, rec.duration_us) == (80.0, 95.0, 15.0)
+        # span_durations fed the histogram
+        assert tel.metrics.histogram("span.nic.tx.us").count == 1
+
+
+class TestMetrics:
+    def test_counter_gauge_create_on_use(self):
+        m = MetricsRegistry()
+        m.counter("a").inc()
+        m.counter("a").inc(4)
+        m.gauge("b").set(2.5)
+        assert m.counters == {"a": 5}
+        assert m.gauges == {"b": 2.5}
+        assert len(m) == 2
+
+    def test_histogram_fixed_edges_deterministic(self):
+        h1 = Histogram("x")
+        h2 = Histogram("x")
+        for v in (0.3, 1.0, 7.0, 1e9):  # underflow, edge, mid, overflow
+            h1.observe(v)
+            h2.observe(v)
+        assert h1.as_dict() == h2.as_dict()
+        assert h1.edges == DEFAULT_LATENCY_EDGES_US
+        assert h1.counts[0] == 1          # 0.3 <= 0.5
+        assert h1.counts[-1] == 1         # 1e9 overflow
+        assert h1.count == 4 and h1.max == 1e9
+        assert h1.mean == pytest.approx((0.3 + 1.0 + 7.0 + 1e9) / 4)
+
+    def test_histogram_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("x", edges=(1.0, 1.0, 2.0))
+        with pytest.raises(ValueError):
+            Histogram("x", edges=(2.0, 1.0))
+
+    def test_registry_rejects_edge_mismatch(self):
+        m = MetricsRegistry()
+        m.histogram("h", edges=(1.0, 2.0))
+        m.histogram("h")  # no edges: reuses
+        with pytest.raises(ValueError):
+            m.histogram("h", edges=(1.0, 3.0))
+
+
+def _traced_cg(seed=0, **kwargs):
+    spec = ClusterSpec(nodes=4, ppn=1, seed=seed)
+    return run_job(spec, 4, KERNELS["cg"]("S"),
+                   MpiConfig(connection="ondemand"),
+                   telemetry=TelemetryConfig(**kwargs))
+
+
+class TestJobIntegration:
+    def test_result_carries_telemetry_and_spans(self):
+        res = _traced_cg()
+        tel = res.telemetry
+        assert tel is not None
+        assert tel.spans_named("mpi.init") and tel.spans_named("mpi.finalize")
+        assert tel.spans_named("coll.allreduce")
+        assert all(not s.open for s in tel.spans)
+        # registry absorbed the resource report and job gauges
+        assert tel.metrics.gauges["resources.total_connections"] == \
+            res.resources.total_connections
+        assert tel.metrics.gauges["job.events_processed"] == res.events_processed
+        assert tel.metrics.histograms["mpi.init.us"].count == 4
+
+    def test_connect_spans_are_exactly_communicating_pairs(self):
+        """Acceptance criterion: on-demand CG.S connection spans name
+        exactly the communicating peer pairs, symmetrically."""
+        res = _traced_cg()
+        pairs = sorted(
+            (s.track[1], s.attrs["peer"])
+            for s in res.telemetry.spans_named("conn.connect")
+        )
+        assert len(pairs) == len(set(pairs))
+        assert pairs == sorted((b, a) for a, b in pairs)  # symmetric
+        assert len(pairs) == res.resources.total_connections
+        # CG at 4 ranks: log-tree partners only, never all-to-all
+        assert (0, 3) not in pairs
+        assert all(s.ok for s in res.telemetry.spans_named("conn.connect"))
+
+    def test_tracing_does_not_perturb_the_run(self):
+        """Zero-overhead contract: traced and untraced runs are the same
+        simulation — event count, sim time and numerics all equal."""
+        spec = ClusterSpec(nodes=4, ppn=1, seed=3)
+        plain = run_job(spec, 4, KERNELS["cg"]("S"), MpiConfig())
+        traced = run_job(spec, 4, KERNELS["cg"]("S"), MpiConfig(),
+                         telemetry=TelemetryConfig())
+        assert plain.telemetry is None
+        assert plain.events_processed == traced.events_processed
+        assert plain.total_time_us == traced.total_time_us
+        assert plain.returns[0].verification == traced.returns[0].verification
+
+    def test_disabled_config_records_nothing(self):
+        res = _traced_cg(enabled=False)
+        assert res.telemetry is None
+
+    def test_category_filtered_job(self):
+        res = _traced_cg(categories=("conn",))
+        cats = {s.cat for s in res.telemetry.spans} | \
+            {i.cat for i in res.telemetry.instants}
+        assert cats == {"conn"}
+
+    def test_bad_telemetry_arg_raises(self):
+        with pytest.raises(TypeError):
+            run(lambda mpi: iter(()), nprocs=2, telemetry="yes please")
+
+    def test_summary_one_liner(self):
+        res = _traced_cg()
+        s = res.summary()
+        assert "4 ranks (ondemand)" in s
+        assert "connections" in s and "sim time" in s
+
+
+class TestExport:
+    def test_chrome_events_have_required_keys(self):
+        doc = chrome_trace(_traced_cg().telemetry)
+        assert doc["traceEvents"]
+        for ev in doc["traceEvents"]:
+            assert {"ph", "ts", "pid", "name"} <= set(ev)
+            assert ev["ph"] in ("M", "X", "i")
+            if ev["ph"] == "X":
+                assert ev["dur"] >= 0.0
+            if ev["ph"] == "i":
+                assert ev["s"] == "t"
+
+    def test_chrome_tracks_map_to_pids(self):
+        doc = chrome_trace(_traced_cg().telemetry)
+        names = {(ev["pid"], ev["tid"]): ev["args"]["name"]
+                 for ev in doc["traceEvents"] if ev["name"] == "thread_name"}
+        assert names[(1, 0)] == "rank 0"
+        assert any(pid == 2 for pid, _ in names)  # NIC lanes exist
+
+    def test_same_seed_exports_byte_identical(self):
+        """Acceptance criterion: two same-seed runs export the same
+        bytes, Chrome and JSONL both."""
+        outs = []
+        for _ in range(2):
+            tel = _traced_cg(seed=7).telemetry
+            chrome, lines = io.StringIO(), io.StringIO()
+            export_chrome_trace(tel, chrome)
+            export_jsonl(tel, lines)
+            outs.append((chrome.getvalue(), lines.getvalue()))
+        assert outs[0] == outs[1]
+        assert outs[0][0] and outs[0][1]
+
+    def test_jsonl_lines_valid_and_ordered(self):
+        tel = _traced_cg().telemetry
+        lines = jsonl_lines(tel)
+        rows = [json.loads(l) for l in lines]
+        events = [r for r in rows if r["type"] in ("span", "instant")]
+        times = [r.get("t0", r.get("t")) for r in events]
+        assert times == sorted(times)
+        assert any(r["type"] == "counter" for r in rows)
+        assert any(r["type"] == "histogram" for r in rows)
+
+    def test_summary_experiment_renders(self):
+        text = summary_experiment(_traced_cg().telemetry).render()
+        assert "via.connections_established" in text
+        assert "spans" in text  # the notes line
+
+
+class TestTraceCli:
+    def test_trace_command_writes_valid_files(self, tmp_path, capsys):
+        from repro.bench.cli import main
+
+        out = tmp_path / "t.json"
+        jsonl = tmp_path / "t.jsonl"
+        rc = main(["trace", "cg", "--np", "4", "--nodes", "4",
+                   "--out", str(out), "--jsonl", str(jsonl)])
+        assert rc == 0
+        doc = json.loads(out.read_text())
+        assert doc["traceEvents"]
+        for line in jsonl.read_text().splitlines():
+            json.loads(line)
+        stdout = capsys.readouterr().out
+        assert "4 ranks (ondemand)" in stdout
+        assert "perfetto" in stdout
