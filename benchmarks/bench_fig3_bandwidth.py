@@ -1,6 +1,5 @@
 """Figure 3: bandwidth vs. size and the eager→rendezvous dip at 5000 B."""
 
-import numpy as np
 
 from repro.bench import figures
 

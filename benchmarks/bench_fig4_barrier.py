@@ -1,6 +1,5 @@
 """Figure 4: barrier latency vs. process count, modes and fabrics."""
 
-import numpy as np
 
 from repro.bench import figures
 

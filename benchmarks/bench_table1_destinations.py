@@ -1,6 +1,5 @@
 """Table 1: average distinct destinations per process at 64 processes."""
 
-import pytest
 
 from repro.bench import tables
 

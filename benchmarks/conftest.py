@@ -10,7 +10,6 @@ Experiments are deterministic, so every benchmark runs exactly once
 (``rounds=1``) — repeating would measure the same simulation again.
 """
 
-import pytest
 
 
 def run_once(benchmark, fn, **kwargs):

@@ -1,0 +1,57 @@
+"""Simulation-safety tooling: static analysis and runtime sanitizers.
+
+The paper's evaluation rests on byte-identical deterministic replay;
+this package turns that from convention into an enforced property.
+
+Two halves:
+
+* :mod:`repro.analysis.lint` — an AST-based **determinism lint**
+  (``python -m repro.analysis lint``) that flags simulation-unsafe
+  constructs in the source tree: wall-clock reads, unseeded global RNG,
+  hash-ordered iteration feeding the scheduler, float equality on sim
+  timestamps, mutable default arguments, and telemetry-guarded code
+  that schedules events.
+
+* :mod:`repro.analysis.sanitizers` — opt-in **runtime sanitizers**
+  (``run_job(..., sanitize=SanitizerConfig())``), the DES analogue of
+  TSan/ASan: a VIA state-machine checker, a pinned-memory/descriptor
+  leak sanitizer, and an event-race detector for same-timestamp
+  ordering hazards.  Sanitizers observe only — a sanitized run is
+  event-for-event identical to an unsanitized one.
+"""
+
+from repro.analysis.lint import (
+    LintReport,
+    LintViolation,
+    RULES,
+    lint_paths,
+    lint_source,
+)
+from repro.analysis.sanitizers import (
+    EventRaceDetector,
+    LeakSanitizer,
+    PinnedMemoryLeak,
+    ProtocolViolation,
+    Sanitizer,
+    SanitizerConfig,
+    SanitizerError,
+    SanitizerReport,
+    ViStateChecker,
+)
+
+__all__ = [
+    "RULES",
+    "LintReport",
+    "LintViolation",
+    "lint_paths",
+    "lint_source",
+    "EventRaceDetector",
+    "LeakSanitizer",
+    "PinnedMemoryLeak",
+    "ProtocolViolation",
+    "Sanitizer",
+    "SanitizerConfig",
+    "SanitizerError",
+    "SanitizerReport",
+    "ViStateChecker",
+]

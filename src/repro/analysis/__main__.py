@@ -1,0 +1,74 @@
+"""``python -m repro.analysis`` — run the simulation-safety tooling.
+
+Subcommands::
+
+    python -m repro.analysis lint [paths...] [--json report.json] [-q]
+    python -m repro.analysis rules
+
+``lint`` exits 0 when the tree is clean and 1 when any violation (or
+syntax error) is found; ``--json`` additionally writes the full
+machine-readable report for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.analysis.lint import RULES, LintReport, lint_paths
+
+DEFAULT_PATHS = ("src/repro",)
+
+
+def _render(report: LintReport, quiet: bool) -> str:
+    lines: List[str] = []
+    if not quiet:
+        for violation in report.violations:
+            lines.append(violation.format())
+        for err in report.parse_errors:
+            lines.append(f"PARSE ERROR {err}")
+    verdict = "clean" if report.ok else f"{len(report.violations)} violation(s)"
+    lines.append(
+        f"repro.analysis lint: {report.files_checked} files, {verdict}, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Determinism lint and rule catalogue for the simulation tree.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    lint_p = sub.add_parser("lint", help="run the determinism lint")
+    lint_p.add_argument(
+        "paths", nargs="*", default=list(DEFAULT_PATHS),
+        help=f"files or directories to lint (default: {' '.join(DEFAULT_PATHS)})",
+    )
+    lint_p.add_argument("--json", metavar="FILE",
+                        help="write the machine-readable report here")
+    lint_p.add_argument("-q", "--quiet", action="store_true",
+                        help="print only the summary line")
+
+    sub.add_parser("rules", help="list the rule catalogue")
+
+    args = parser.parse_args(argv)
+    if args.command == "rules":
+        for rule_id, rule in sorted(RULES.items()):
+            print(f"{rule_id}  {rule.name:<22} {rule.summary}")
+        return 0
+
+    report = lint_paths(args.paths)
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as fh:
+            fh.write(report.to_json())
+            fh.write("\n")
+    print(_render(report, args.quiet))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

@@ -1,0 +1,550 @@
+"""AST-based determinism lint for the simulation tree.
+
+Every rule flags a construct that can make two runs of the same seeded
+job diverge — or that lets an observability layer perturb the schedule
+it observes.  The rule catalogue (see DESIGN.md §4d):
+
+========== ====================================================================
+REPRO001   wall-clock read (``time.time``, ``datetime.now``, ...): simulated
+           code must take time only from ``engine.now``.
+REPRO002   global / unseeded RNG (stdlib ``random``, legacy ``numpy.random``
+           module functions, ``default_rng()`` with no seed): every stream
+           must come from :class:`repro.sim.rng.RngStreams` or an explicit
+           seed.  ``sim/rng.py`` itself is exempt.
+REPRO003   hash-ordered iteration: looping over a ``set`` (display, call,
+           comprehension, or a name statically known to hold one) without
+           ``sorted(...)``; or looping over ``dict.keys/values/items`` in a
+           body that schedules events or sends packets, where insertion
+           order silently becomes schedule order.
+REPRO004   float ``==``/``!=`` on sim timestamps (names like ``now``,
+           ``*_us``, ``*_at``, ``*_deadline``): timestamp arithmetic must
+           use ordering comparisons or explicit sentinels.
+REPRO005   mutable default argument: shared mutable state across calls is
+           both a Python footgun and a cross-rank determinism hazard.
+REPRO006   telemetry-guarded scheduling: inside ``if ...telemetry...:`` the
+           code may record, never call ``schedule``/``timeout``/``succeed``/
+           ``fail``/``fire`` — recording must not perturb the schedule.
+========== ====================================================================
+
+Suppression: append ``# repro: allow[REPRO003]`` (comma-separated ids, or
+``*``) to the offending line, or put it on a comment line directly above,
+with a short justification.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Rule:
+    """One lint rule: stable id, short name, one-line summary."""
+
+    rule_id: str
+    name: str
+    summary: str
+
+
+RULES: Dict[str, Rule] = {
+    r.rule_id: r
+    for r in (
+        Rule("REPRO001", "wall-clock",
+             "wall-clock read; simulated code takes time from engine.now"),
+        Rule("REPRO002", "unseeded-rng",
+             "global/unseeded RNG; draw from a named seeded stream"),
+        Rule("REPRO003", "unordered-iteration",
+             "hash-ordered iteration feeding the schedule; wrap in sorted()"),
+        Rule("REPRO004", "float-time-eq",
+             "float ==/!= on sim timestamps; compare with ordering or sentinels"),
+        Rule("REPRO005", "mutable-default",
+             "mutable default argument"),
+        Rule("REPRO006", "telemetry-schedules",
+             "telemetry-guarded code schedules events; recording must observe only"),
+    )
+}
+
+#: dotted call targets that read the host clock
+_WALL_CLOCK = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.localtime", "time.gmtime", "time.ctime",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+})
+
+#: numpy.random attributes that are fine to call (seedable constructors)
+_NP_RANDOM_OK = frozenset({
+    "default_rng", "Generator", "SeedSequence", "BitGenerator",
+    "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+})
+
+#: method names that inject work into the schedule or the fabric
+_SCHEDULING_ATTRS = frozenset({
+    "schedule", "timeout", "succeed", "fail", "fire", "ring_doorbell",
+})
+
+#: terminal identifier shapes treated as sim timestamps (REPRO004)
+_TIME_NAME = re.compile(
+    r"(^now$)|(^deadline$)|(_us$)|(_at$)|(_time$)|(_deadline$)|(_until$)"
+)
+
+#: float literals accepted as timestamp sentinels
+_TIME_SENTINELS = (0.0, -1.0, float("inf"))
+
+#: names whose presence in an `if` test marks a telemetry guard
+_TELEMETRY_NAMES = frozenset({"telemetry", "tel", "tel_span", "tel_connect"})
+
+_ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """One finding."""
+
+    rule_id: str
+    path: str
+    line: int
+    col: int
+    message: str
+    snippet: str = ""
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule_id,
+            "name": RULES[self.rule_id].name,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "snippet": self.snippet,
+        }
+
+
+@dataclass
+class LintReport:
+    """Aggregated result of one lint run (machine-readable via as_dict)."""
+
+    violations: List[LintViolation] = field(default_factory=list)
+    suppressed: List[LintViolation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_checked": self.files_checked,
+            "violations": [v.as_dict() for v in self.violations],
+            "suppressed": [v.as_dict() for v in self.suppressed],
+            "parse_errors": list(self.parse_errors),
+            "rules": {
+                rid: {"name": rule.name, "summary": rule.summary}
+                for rid, rule in sorted(RULES.items())
+            },
+        }
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+def _suppressions_by_line(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> set of rule ids allowed on that line.
+
+    A directive on a comment-only line also covers the next line.
+    """
+    allowed: Dict[int, Set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        m = _ALLOW_RE.search(text)
+        if m is None:
+            continue
+        ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+        allowed.setdefault(lineno, set()).update(ids)
+        if text.lstrip().startswith("#"):
+            allowed.setdefault(lineno + 1, set()).update(ids)
+    return allowed
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Syntactically a set: display, comprehension, or set()/frozenset()."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+def _annotation_is_set(node: Optional[ast.expr]) -> bool:
+    """True for annotations like ``set``, ``set[int]``, ``Set[str]``,
+    ``frozenset[...]`` (string forms included)."""
+    if node is None:
+        return False
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        head = node.value.split("[", 1)[0].split(".")[-1].strip()
+        return head in ("set", "Set", "frozenset", "FrozenSet")
+    if isinstance(node, ast.Subscript):
+        return _annotation_is_set(node.value)
+    if isinstance(node, ast.Name):
+        return node.id in ("set", "Set", "frozenset", "FrozenSet")
+    if isinstance(node, ast.Attribute):
+        return node.attr in ("Set", "FrozenSet")
+    return False
+
+
+def _terminal_name(node: ast.AST) -> Optional[str]:
+    """The rightmost identifier of a Name/Attribute chain, else None."""
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+def _target_key(node: ast.AST) -> Optional[str]:
+    """A stable key for assignment targets we track: ``x`` or ``self.x``."""
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute) and isinstance(node.value, ast.Name):
+        return f"{node.value.id}.{node.attr}"
+    return None
+
+
+def _is_time_like(node: ast.AST) -> bool:
+    name = _terminal_name(node)
+    return name is not None and _TIME_NAME.search(name) is not None
+
+
+def _mentions_telemetry(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        name = _terminal_name(sub)
+        if name in _TELEMETRY_NAMES:
+            return True
+    return False
+
+
+class _FileLinter(ast.NodeVisitor):
+    """Single-file rule engine.
+
+    One pass collects import aliases and set-typed names; the visitor
+    pass then emits violations.  Scope handling is deliberately simple
+    (module + enclosing-function union): precise enough for this tree,
+    and false positives have an escape hatch via ``# repro: allow[...]``.
+    """
+
+    def __init__(self, path: str, source: str, rel_posix: str) -> None:
+        self.path = path
+        self.rel_posix = rel_posix
+        self.violations: List[LintViolation] = []
+        self._lines = source.splitlines()
+        self._aliases: Dict[str, str] = {}
+        self._set_names: Set[str] = set()
+        self._telemetry_guard_depth = 0
+        #: rng rule is waived for the seed-stream factory itself
+        self._rng_exempt = rel_posix.endswith("sim/rng.py")
+
+    # -- shared helpers ----------------------------------------------------
+    def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
+        line = getattr(node, "lineno", 1)
+        col = getattr(node, "col_offset", 0)
+        snippet = self._lines[line - 1].strip() if line <= len(self._lines) else ""
+        self.violations.append(
+            LintViolation(rule_id, self.path, line, col, message, snippet)
+        )
+
+    def _canonical(self, node: ast.AST) -> Optional[str]:
+        """Resolve a Name/Attribute chain to a dotted module path using
+        the file's import aliases; None if the root is not imported."""
+        parts: List[str] = []
+        cur = node
+        while isinstance(cur, ast.Attribute):
+            parts.append(cur.attr)
+            cur = cur.value
+        if not isinstance(cur, ast.Name):
+            return None
+        root = self._aliases.get(cur.id)
+        if root is None:
+            return None
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    # -- prepass: imports and set-typed names ------------------------------
+    def collect(self, tree: ast.AST) -> None:
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name.split(".")[0]] = (
+                        alias.name if alias.asname else alias.name.split(".")[0]
+                    )
+                    if alias.asname:
+                        self._aliases[alias.asname] = alias.name
+            elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+                for alias in node.names:
+                    self._aliases[alias.asname or alias.name] = (
+                        f"{node.module}.{alias.name}"
+                    )
+            elif isinstance(node, ast.Assign):
+                if _is_set_expr(node.value):
+                    for target in node.targets:
+                        key = _target_key(target)
+                        if key is not None:
+                            self._set_names.add(key)
+            elif isinstance(node, ast.AnnAssign):
+                key = _target_key(node.target)
+                if key is not None and (
+                    _annotation_is_set(node.annotation)
+                    or (node.value is not None and _is_set_expr(node.value))
+                ):
+                    self._set_names.add(key)
+
+    # -- REPRO001 / REPRO002: calls ---------------------------------------
+    def visit_Call(self, node: ast.Call) -> None:
+        dotted = self._canonical(node.func)
+        if dotted is not None:
+            if dotted in _WALL_CLOCK:
+                self._emit(
+                    "REPRO001", node,
+                    f"wall-clock call {dotted}() — simulated code must take "
+                    "time from engine.now",
+                )
+            elif not self._rng_exempt:
+                self._check_rng(node, dotted)
+        if self._telemetry_guard_depth > 0:
+            attr = node.func.attr if isinstance(node.func, ast.Attribute) else None
+            if attr in _SCHEDULING_ATTRS:
+                self._emit(
+                    "REPRO006", node,
+                    f".{attr}() inside a telemetry guard — recording must "
+                    "never schedule events",
+                )
+        self.generic_visit(node)
+
+    def _check_rng(self, node: ast.Call, dotted: str) -> None:
+        if dotted.startswith("random."):
+            tail = dotted.split(".", 1)[1]
+            if tail == "SystemRandom":
+                self._emit("REPRO002", node,
+                           "random.SystemRandom is entropy-backed and "
+                           "unreproducible")
+            elif tail == "Random":
+                if not node.args:
+                    self._emit("REPRO002", node,
+                               "random.Random() without a seed")
+            else:
+                self._emit(
+                    "REPRO002", node,
+                    f"global random.{tail}() — draw from a named stream "
+                    "(repro.sim.rng.RngStreams)",
+                )
+        elif dotted.startswith("numpy.random."):
+            tail = dotted.split("numpy.random.", 1)[1]
+            if tail == "default_rng":
+                if not node.args and not node.keywords:
+                    self._emit("REPRO002", node,
+                               "numpy.random.default_rng() without a seed")
+            elif tail not in _NP_RANDOM_OK and "." not in tail:
+                self._emit(
+                    "REPRO002", node,
+                    f"legacy global numpy.random.{tail}() — use a seeded "
+                    "Generator from repro.sim.rng",
+                )
+
+    # -- REPRO003: iteration order ----------------------------------------
+    def _iter_hazard(self, iter_node: ast.expr) -> Optional[str]:
+        """Why iterating ``iter_node`` is hash-ordered, or None if safe."""
+        if isinstance(iter_node, ast.Call) and isinstance(iter_node.func, ast.Name):
+            if iter_node.func.id in ("sorted", "len", "min", "max", "sum"):
+                return None
+        if _is_set_expr(iter_node):
+            return "iteration over a set expression"
+        key = _target_key(iter_node)
+        if key is not None and key in self._set_names:
+            return f"iteration over set-typed {key!r}"
+        return None
+
+    @staticmethod
+    def _dict_view(iter_node: ast.expr) -> Optional[str]:
+        if (
+            isinstance(iter_node, ast.Call)
+            and isinstance(iter_node.func, ast.Attribute)
+            and iter_node.func.attr in ("keys", "values", "items")
+            and not iter_node.args
+        ):
+            return iter_node.func.attr
+        return None
+
+    @staticmethod
+    def _body_schedules(body: Sequence[ast.stmt]) -> Optional[str]:
+        for stmt in body:
+            for sub in ast.walk(stmt):
+                if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Attribute):
+                    if sub.func.attr in _SCHEDULING_ATTRS:
+                        return sub.func.attr
+        return None
+
+    def visit_For(self, node: ast.For) -> None:
+        hazard = self._iter_hazard(node.iter)
+        if hazard is not None:
+            self._emit("REPRO003", node,
+                       f"{hazard} without sorted() — hash order leaks into "
+                       "the schedule")
+        else:
+            view = self._dict_view(node.iter)
+            if view is not None:
+                sched = self._body_schedules(node.body)
+                if sched is not None:
+                    self._emit(
+                        "REPRO003", node,
+                        f"loop over .{view}() whose body calls .{sched}() — "
+                        "insertion order becomes schedule order; make the "
+                        "order explicit with sorted()",
+                    )
+        self.generic_visit(node)
+
+    def _visit_comprehension(self, node: ast.AST) -> None:
+        for gen in getattr(node, "generators", []):
+            hazard = self._iter_hazard(gen.iter)
+            if hazard is not None:
+                self._emit("REPRO003", node,
+                           f"{hazard} in a comprehension without sorted()")
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+
+    # -- REPRO004: float time equality ------------------------------------
+    def visit_Compare(self, node: ast.Compare) -> None:
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            lt, rt = _is_time_like(left), _is_time_like(right)
+            if lt and rt:
+                self._emit("REPRO004", node,
+                           "float == between sim timestamps — use ordering "
+                           "comparisons or an epsilon")
+            elif lt or rt:
+                other = right if lt else left
+                if (
+                    isinstance(other, ast.Constant)
+                    and isinstance(other.value, float)
+                    and other.value not in _TIME_SENTINELS
+                ):
+                    self._emit(
+                        "REPRO004", node,
+                        f"sim timestamp compared == {other.value!r} — float "
+                        "equality on times is schedule-fragile",
+                    )
+        self.generic_visit(node)
+
+    # -- REPRO005: mutable defaults ---------------------------------------
+    def _check_defaults(self, node: ast.AST) -> None:
+        args = getattr(node, "args")
+        for default in [*args.defaults, *args.kw_defaults]:
+            if default is None:
+                continue
+            mutable = isinstance(
+                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                          ast.DictComp, ast.SetComp)
+            ) or (
+                isinstance(default, ast.Call)
+                and isinstance(default.func, ast.Name)
+                and default.func.id in ("list", "dict", "set", "bytearray",
+                                        "deque", "defaultdict", "OrderedDict")
+            )
+            if mutable:
+                self._emit("REPRO005", default,
+                           "mutable default argument is shared across calls")
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._check_defaults(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._check_defaults(node)
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        self._check_defaults(node)
+
+    # -- REPRO006: telemetry guards ----------------------------------------
+    def visit_If(self, node: ast.If) -> None:
+        if _mentions_telemetry(node.test):
+            self.visit(node.test)
+            self._telemetry_guard_depth += 1
+            for stmt in node.body:
+                self.visit(stmt)
+            self._telemetry_guard_depth -= 1
+            for stmt in node.orelse:
+                self.visit(stmt)
+        else:
+            self.generic_visit(node)
+
+
+def lint_source(
+    source: str, path: str = "<string>", rel_posix: Optional[str] = None
+) -> Tuple[List[LintViolation], List[LintViolation]]:
+    """Lint one source text; returns ``(violations, suppressed)``."""
+    tree = ast.parse(source, filename=path)
+    linter = _FileLinter(path, source, rel_posix or Path(path).as_posix())
+    linter.collect(tree)
+    linter.visit(tree)
+    allowed = _suppressions_by_line(source)
+    kept: List[LintViolation] = []
+    suppressed: List[LintViolation] = []
+    for violation in linter.violations:
+        ids = allowed.get(violation.line, set())
+        if violation.rule_id in ids or "*" in ids:
+            suppressed.append(violation)
+        else:
+            kept.append(violation)
+    kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    suppressed.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
+    return kept, suppressed
+
+
+def iter_python_files(paths: Iterable[str]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: List[Path] = []
+    for raw in paths:
+        p = Path(raw)
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    return [p for p in out if "__pycache__" not in p.parts]
+
+
+def lint_paths(paths: Iterable[str]) -> LintReport:
+    """Lint every ``.py`` file under ``paths``; returns a LintReport."""
+    report = LintReport()
+    for file_path in iter_python_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:  # pragma: no cover - unreadable file
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        try:
+            kept, suppressed = lint_source(
+                source, str(file_path), file_path.as_posix()
+            )
+        except SyntaxError as exc:
+            report.parse_errors.append(f"{file_path}: {exc}")
+            continue
+        report.files_checked += 1
+        report.violations.extend(kept)
+        report.suppressed.extend(suppressed)
+    return report

@@ -9,7 +9,7 @@ traffic is part of the measured connection pattern.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -7,7 +7,7 @@ parameters (1000-iteration barriers, the full class/process matrix).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, List
 
 from repro.apps import micro
 from repro.apps.npb import KERNELS

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
 
 from repro.apps import micro
 from repro.apps.npb import KERNELS

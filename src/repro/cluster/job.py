@@ -11,9 +11,10 @@ from __future__ import annotations
 
 import dataclasses
 from contextlib import nullcontext
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional
 
+from repro.analysis.sanitizers import Sanitizer, SanitizerConfig, SanitizerReport
 from repro.chaos import FaultInjector, FaultPlan
 from repro.cluster.oob import OobBoard
 from repro.cluster.spec import ClusterSpec
@@ -26,7 +27,7 @@ from repro.mpi.communicator import Communicator
 from repro.mpi.config import MpiConfig
 from repro.mpi.conn import make_connection_manager
 from repro.mpi.facade import MpiProcess
-from repro.sim.engine import Engine, SimulationError
+from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.telemetry import Telemetry, TelemetryConfig
 from repro.via.agent import ConnectionAgent
@@ -70,6 +71,8 @@ class JobResult:
     chaos: Optional[ChaosReport] = None
     #: the telemetry plane; None unless run_job(..., telemetry=...) was on
     telemetry: Optional[Telemetry] = None
+    #: sanitizer findings; None unless run_job(..., sanitize=...) was on
+    sanitizer: Optional[SanitizerReport] = None
 
     @property
     def avg_init_time_us(self) -> float:
@@ -104,6 +107,7 @@ def run_job(
     allow_drops: bool = False,
     fault_plan: Optional[FaultPlan] = None,
     telemetry: Optional[Any] = None,
+    sanitize: Optional[Any] = None,
 ) -> JobResult:
     """Simulate one MPI job and return its measurements.
 
@@ -130,6 +134,16 @@ def run_job(
         ``JobResult.telemetry``.  Recording uses simulated time only
         and never schedules events, so the run itself is identical to
         an untraced one.
+    sanitize:
+        Optional :class:`~repro.analysis.SanitizerConfig` (or a
+        pre-built :class:`~repro.analysis.Sanitizer` sharing
+        ``engine``).  Turns on the runtime sanitizers: VI state-machine
+        checking (typed :class:`~repro.analysis.ProtocolViolation` on
+        an illegal transition), pinned-memory/descriptor leak detection
+        at teardown (typed :class:`~repro.analysis.PinnedMemoryLeak`),
+        and same-timestamp event-race reporting.  Sanitizers observe
+        only — the run is event-for-event identical to an unsanitized
+        one — and findings land in ``JobResult.sanitizer``.
     """
     config = config or MpiConfig()
     spec.validate_nprocs(nprocs)
@@ -169,6 +183,16 @@ def run_job(
             "telemetry must be a TelemetryConfig or Telemetry instance"
         )
 
+    san: Optional[Sanitizer] = None
+    if isinstance(sanitize, Sanitizer):
+        san = sanitize
+    elif isinstance(sanitize, SanitizerConfig):
+        san = Sanitizer(engine, sanitize)
+    elif sanitize is not None:
+        raise TypeError(
+            "sanitize must be a SanitizerConfig or Sanitizer instance"
+        )
+
     rng = RngStreams(spec.seed)
     network = Network(engine, spec.profile.link, name=spec.profile.name)
     network.telemetry = tel
@@ -192,16 +216,21 @@ def run_job(
 
     devices: Dict[int, AbstractDevice] = {}
     facades: Dict[int, MpiProcess] = {}
+    providers: List[ViaProvider] = []
     for rank in range(nprocs):
         node = spec.node_of(rank)
         registry = MemoryRegistry(
             costs=spec.profile.registration, label=f"rank{rank}"
         )
+        if san is not None:
+            san.watch_registry(registry)
         provider = ViaProvider(
             engine, nics[node], agents[node], registry, rank,
             job_id=0, config=vi_config,
         )
         provider.telemetry = tel
+        provider.sanitizer = san
+        providers.append(provider)
         adi = AbstractDevice(
             engine, provider, config, rank, nprocs,
             rank_to_node=spec.node_of,
@@ -276,6 +305,12 @@ def run_job(
     if chaos_active:
         chaos_report = collect_chaos(network.injector, nics, devices)
 
+    san_report: Optional[SanitizerReport] = None
+    if san is not None:
+        # passive fold-up; raises typed PinnedMemoryLeak on leaked
+        # regions/VIs when the config says to fail on them
+        san_report = san.finish(providers)
+
     assert resources_box[0] is not None
     if tel is not None:
         # close stragglers, then make the registry the one-stop numeric
@@ -305,4 +340,5 @@ def run_job(
         events_processed=engine.events_processed,
         chaos=chaos_report,
         telemetry=tel,
+        sanitizer=san_report,
     )

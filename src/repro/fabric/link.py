@@ -9,7 +9,6 @@ benchmark's all-to-all) cost real time in the simulation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
 
 from repro.sim.engine import Engine
 

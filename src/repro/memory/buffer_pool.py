@@ -16,7 +16,7 @@ so it raises rather than blocks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -14,7 +14,7 @@ a re-used buffer hits the cache and pays nothing.
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
@@ -88,6 +88,9 @@ class MemoryRegistry:
         self.label = label
         self.stats = RegistryStats()
         self._regions: dict[int, MemoryRegion] = {}
+        #: optional lifecycle observer (repro.analysis leak sanitizer);
+        #: notified after each register/deregister, never consulted
+        self.observer = None
 
     # -- registration ------------------------------------------------------
     def register(
@@ -113,6 +116,8 @@ class MemoryRegistry:
             self.stats.peak_pinned_bytes, self.stats.pinned_bytes
         )
         self.stats.total_register_us += cost
+        if self.observer is not None:
+            self.observer.on_register(self, region)
         return region, cost
 
     def deregister(self, region: MemoryRegion) -> float:
@@ -127,6 +132,8 @@ class MemoryRegistry:
         self.stats.deregistrations += 1
         self.stats.pinned_bytes -= region.nbytes
         self.stats.total_deregister_us += cost
+        if self.observer is not None:
+            self.observer.on_deregister(self, region)
         return cost
 
     # -- inspection ----------------------------------------------------------

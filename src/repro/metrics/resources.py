@@ -11,7 +11,7 @@ the live objects after a job ran.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Set
+from typing import TYPE_CHECKING, Dict, List
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.adi import AbstractDevice

@@ -50,7 +50,7 @@ from repro.mpi.headers import (
     RtsHeader,
 )
 from repro.mpi.matching import MatchingEngine, UnexpectedMessage
-from repro.mpi.request import Request, RequestKind, RequestState
+from repro.mpi.request import Request, RequestKind
 from repro.sim.engine import Engine
 from repro.via.constants import DescriptorOp
 from repro.via.provider import ViaProvider

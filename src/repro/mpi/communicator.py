@@ -15,7 +15,7 @@ exchange messages, so the sharing is safe.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from repro.mpi.constants import ANY_SOURCE, MpiError, PROC_NULL
 

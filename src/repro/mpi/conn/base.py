@@ -16,7 +16,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, List
 
 from repro.mpi.channel import Channel, ChannelState
-from repro.mpi.constants import ANY_SOURCE, ConnectionFailed
+from repro.mpi.constants import ConnectionFailed
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.adi import AbstractDevice

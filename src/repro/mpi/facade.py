@@ -25,7 +25,7 @@ like MVICH), though the NIC keeps depositing eager data autonomously.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Optional
 
 import numpy as np
 

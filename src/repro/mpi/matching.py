@@ -14,8 +14,8 @@ MPICH semantics, which MVICH inherits:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, List, Optional
+from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 

@@ -16,7 +16,7 @@ rank / node / link.
 from __future__ import annotations
 
 import json
-from typing import IO, Dict, List, Tuple, Union
+from typing import IO, List, Tuple, Union
 
 from repro.bench.report import Experiment
 from repro.telemetry.core import Telemetry, Track

@@ -25,7 +25,7 @@ establishment by polling ``VipConnectPeerDone`` (i.e. ``vi.is_connected``).
 from __future__ import annotations
 
 from collections import deque
-from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Dict, Optional
 
 from repro.fabric.packet import Packet
 from repro.sim.engine import Engine
@@ -41,10 +41,6 @@ from repro.via.messages import (
 )
 from repro.via.nic import Nic
 from repro.via.vi import VI
-
-if TYPE_CHECKING:  # pragma: no cover
-    from repro.via.provider import ViaProvider
-
 
 class ConnectionAgent:
     """The kernel-side connection manager of one node."""

@@ -27,7 +27,6 @@ from repro.fabric.network import Network
 from repro.fabric.packet import Packet
 from repro.sim.engine import Engine
 from repro.via.constants import DescriptorOp, DescriptorStatus, ViState, ViaProtocolError
-from repro.via.descriptor import Descriptor
 from repro.via.messages import (
     CONTROL_TYPES,
     DataMessage,

@@ -19,18 +19,13 @@ from typing import Optional, Tuple
 
 import numpy as np
 
-from repro.memory.buffer_pool import BufferPool, BufferPoolError
+from repro.memory.buffer_pool import BufferPool
 from repro.memory.registry import MemoryRegistry, RegistrationCache
 from repro.sim.engine import Engine
 from repro.sim.signal import Signal
 from repro.via.agent import ConnectionAgent
 from repro.via.completion_queue import CompletionQueue
-from repro.via.constants import (
-    DescriptorOp,
-    ViState,
-    ViaConnectionError,
-    ViaProtocolError,
-)
+from repro.via.constants import DescriptorOp, ViState, ViaProtocolError
 from repro.via.descriptor import Descriptor
 from repro.via.messages import CsConnRequest, Discriminator
 from repro.via.nic import Nic
@@ -86,6 +81,9 @@ class ViaProvider:
         #: optional telemetry plane; None = untraced (zero overhead).
         #: Propagated to each VI at creation.
         self.telemetry = None
+        #: optional sanitizer plane (repro.analysis); None = unchecked.
+        #: Supplies each VI's state monitor and observes VI teardown.
+        self.sanitizer = None
 
         #: agent-delivered disconnect control messages awaiting the MPI
         #: layer's next progress pass
@@ -125,6 +123,8 @@ class ViaProvider:
         )
         vi.remote_rank = remote_rank
         vi.telemetry = self.telemetry
+        if self.sanitizer is not None:
+            vi.monitor = self.sanitizer.vi_monitor
         self.nic.attach_vi(vi, self)
         self._vis[vi.vi_id] = vi
         cost = (
@@ -160,6 +160,9 @@ class ViaProvider:
         """VipDestroyVi: detach and unpin."""
         if vi.vi_id not in self._vis:
             raise ViaProtocolError(f"VI {vi.vi_id} does not belong to rank {self.rank}")
+        if self.sanitizer is not None:
+            # snapshot descriptor lifecycles before the queues are torn down
+            self.sanitizer.on_vi_destroyed(vi)
         self.nic.detach_vi(vi)
         del self._vis[vi.vi_id]
         vi.state = ViState.DISCONNECTED

@@ -29,7 +29,8 @@ class VI:
         "vi_id",
         "node_id",
         "owner_rank",
-        "state",
+        "_state",
+        "monitor",
         "protection_tag",
         "send_cq",
         "recv_cq",
@@ -64,7 +65,10 @@ class VI:
         self.vi_id = vi_id
         self.node_id = node_id
         self.owner_rank = owner_rank
-        self.state = ViState.IDLE
+        #: optional state-machine observer (see repro.analysis.sanitizers);
+        #: must be set before the first transition to see it
+        self.monitor = None
+        self._state = ViState.IDLE
         self.protection_tag = protection_tag
         self.send_cq = send_cq
         self.recv_cq = recv_cq
@@ -95,6 +99,20 @@ class VI:
         self.telemetry = None
 
     # -- connection state ---------------------------------------------------
+    @property
+    def state(self) -> ViState:
+        return self._state
+
+    @state.setter
+    def state(self, new: ViState) -> None:
+        """Every lifecycle transition funnels through here so an attached
+        sanitizer sees raw assignments (teardown, NIC error paths) as
+        well as the mark_* helpers."""
+        old = self._state
+        self._state = new
+        if self.monitor is not None and old is not new:
+            self.monitor.on_transition(self, old, new)
+
     @property
     def is_connected(self) -> bool:
         return self.state is ViState.CONNECTED

@@ -6,7 +6,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.cluster import ClusterSpec, run_job
 from repro.mpi import MpiConfig
-from repro.via.profiles import BERKELEY, CLAN
+from repro.via.profiles import CLAN
 
 
 def run(

@@ -1,0 +1,286 @@
+"""Runtime-sanitizer tests: each checker fires on a deliberately bad
+input, stays quiet on healthy runs, and never perturbs the schedule."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    EventRaceDetector,
+    PinnedMemoryLeak,
+    ProtocolViolation,
+    Sanitizer,
+    SanitizerConfig,
+    ViStateChecker,
+)
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.via.constants import ViState, ViaProtocolError
+from tests.via_rig import make_rig
+
+SPEC = ClusterSpec(nodes=4, ppn=1, seed=3)
+
+
+def ring_program(mpi):
+    """Small sendrecv ring touching connect, eager send, and barrier."""
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    data = np.full(64, float(mpi.rank), dtype=np.float64)
+    out = np.empty_like(data)
+    yield from mpi.sendrecv(data, right, out, left, sendtag=9, recvtag=9)
+    yield from mpi.barrier()
+    return float(out[0])
+
+
+# --------------------------------------------------------------------------- #
+# VI state-machine checker
+# --------------------------------------------------------------------------- #
+
+class TestViStateChecker:
+    def test_illegal_transition_raises_typed_error(self):
+        rig = make_rig(nodes=2)
+        vi, _ = rig.providers[0].create_vi(remote_rank=1)
+        checker = ViStateChecker()
+        vi.monitor = checker
+        vi.state = ViState.DISCONNECTED  # legal: destroyed unused
+        with pytest.raises(ProtocolViolation) as exc:
+            vi.state = ViState.CONNECTED  # resurrecting a dead VI
+        assert isinstance(exc.value, ViaProtocolError)
+        rec = exc.value.record
+        assert rec.old is ViState.DISCONNECTED
+        assert rec.new is ViState.CONNECTED
+        assert rec.vi_id == vi.vi_id
+        assert not rec.legal
+
+    def test_report_only_mode_collects_records(self):
+        rig = make_rig(nodes=2)
+        vi, _ = rig.providers[0].create_vi(remote_rank=1)
+        checker = ViStateChecker(fail_on_violation=False)
+        vi.monitor = checker
+        vi.state = ViState.DISCONNECTED
+        vi.state = ViState.CONNECT_PENDING  # illegal, recorded not raised
+        assert len(checker.violations) == 1
+        assert checker.violations[0].new is ViState.CONNECT_PENDING
+
+    def test_healthy_lifecycle_is_clean(self):
+        rig = make_rig(nodes=2)
+        san = Sanitizer(rig.engine, SanitizerConfig())
+        for provider, registry in zip(rig.providers, rig.registries):
+            provider.sanitizer = san
+            san.watch_registry(registry)
+        vi_a, vi_b = rig.connect_pair(0, 1)
+        rig.providers[0].destroy_vi(vi_a)
+        rig.providers[1].destroy_vi(vi_b)
+        report = san.finish(rig.providers)
+        assert report.clean
+        # both endpoints walked IDLE -> ... -> DISCONNECTED under watch
+        assert report.transitions_checked >= 4
+        assert report.violations == []
+        assert report.leaks is not None and not report.leaks.has_leaks
+        # eager arenas register/deregister symmetrically
+        assert report.leaks.regions_registered > 0
+        assert (report.leaks.regions_registered
+                == report.leaks.regions_deregistered)
+
+    def test_no_monitor_means_no_overhead_path(self):
+        rig = make_rig(nodes=2)
+        vi, _ = rig.providers[0].create_vi(remote_rank=1)
+        assert vi.monitor is None
+        vi.state = ViState.DISCONNECTED  # no checker attached: fine
+
+
+# --------------------------------------------------------------------------- #
+# Pinned-memory leak sanitizer
+# --------------------------------------------------------------------------- #
+
+class TestLeakSanitizer:
+    def test_deliberate_leak_raises_typed_error(self):
+        def leaky(mpi):
+            # register a pinned region and "forget" to deregister it
+            mpi._adi.provider.registry.register(8192, owner_label="leak-me")
+            yield from mpi.barrier()
+            return mpi.rank
+
+        with pytest.raises(PinnedMemoryLeak) as exc:
+            run_job(SPEC, 4, leaky, sanitize=SanitizerConfig())
+        report = exc.value.report
+        assert report.has_leaks
+        assert len(report.leaked_regions) == 4  # one per rank
+        leaked = report.leaked_regions[0]
+        assert leaked.nbytes == 8192
+        assert leaked.owner_label == "leak-me"
+        assert report.leaked_bytes == 4 * 8192
+        assert report.leaked_vis == 0
+
+    def test_leak_report_only_mode(self):
+        def leaky(mpi):
+            mpi._adi.provider.registry.register(4096, owner_label="leak-me")
+            yield from mpi.barrier()
+
+        cfg = SanitizerConfig(fail_on_leak=False)
+        res = run_job(SPEC, 4, leaky, sanitize=cfg)
+        assert res.sanitizer is not None
+        assert not res.sanitizer.clean
+        assert len(res.sanitizer.leaks.leaked_regions) == 4
+
+    def test_leaked_vi_counts(self):
+        rig = make_rig(nodes=2)
+        san = Sanitizer(rig.engine, SanitizerConfig(fail_on_leak=False))
+        for provider, registry in zip(rig.providers, rig.registries):
+            provider.sanitizer = san
+            san.watch_registry(registry)
+        rig.connect_pair(0, 1)  # never destroyed
+        report = san.finish(rig.providers)
+        assert report.leaks.leaked_vis == 2
+        assert not report.clean
+
+    def test_unconsumed_preposts_reported_not_failed(self):
+        rig = make_rig(nodes=2)
+        san = Sanitizer(rig.engine, SanitizerConfig())
+        for provider, registry in zip(rig.providers, rig.registries):
+            provider.sanitizer = san
+            san.watch_registry(registry)
+        vi_a, vi_b = rig.connect_pair(0, 1)
+        rig.providers[0].destroy_vi(vi_a)
+        rig.providers[1].destroy_vi(vi_b)
+        report = san.finish(rig.providers)  # does not raise
+        # the eager arena keeps its pre-posted receives full by design;
+        # they are surfaced for visibility but are not leaks
+        assert report.leaks.unconsumed_preposted > 0
+        assert report.clean
+
+
+# --------------------------------------------------------------------------- #
+# Event-race detector
+# --------------------------------------------------------------------------- #
+
+class TestEventRaceDetector:
+    def test_same_timestamp_conflict_group(self):
+        engine = Engine()
+        detector = EventRaceDetector()
+        engine.trace = detector
+        engine.timeout(1.0, name="send.r0")
+        engine.timeout(1.0, name="recv.r1")
+        engine.timeout(2.0, name="alone")
+        engine.run()
+        report = detector.finish()
+        assert report.events_seen == 3
+        assert report.tie_groups == 1
+        assert report.tied_events == 2
+        assert report.conflict_groups == 1
+        assert report.largest_group == 2
+        when, names = report.examples[0]
+        assert when == pytest.approx(1.0)
+        assert set(names) == {"send.r0", "recv.r1"}
+
+    def test_same_name_ties_are_not_conflicts(self):
+        engine = Engine()
+        detector = EventRaceDetector()
+        engine.trace = detector
+        engine.timeout(1.0, name="tick")
+        engine.timeout(1.0, name="tick")
+        engine.run()
+        report = detector.finish()
+        assert report.tie_groups == 1
+        assert report.conflict_groups == 0
+        assert report.examples == []
+
+    def test_chains_to_inner_recorder(self):
+        # the recorder under sanitization must see the identical stream
+        plain = TraceRecorder()
+        engine_a = Engine(trace=plain)
+        engine_a.timeout(1.0, name="a")
+        engine_a.timeout(1.0, name="b")
+        engine_a.run()
+
+        wrapped = TraceRecorder()
+        engine_b = Engine(trace=wrapped)
+        engine_b.trace = EventRaceDetector(inner=engine_b.trace)
+        engine_b.timeout(1.0, name="a")
+        engine_b.timeout(1.0, name="b")
+        engine_b.run()
+
+        assert plain.fingerprint() == wrapped.fingerprint()
+
+    def test_example_cap(self):
+        engine = Engine()
+        detector = EventRaceDetector(max_examples=2)
+        engine.trace = detector
+        for t in (1.0, 2.0, 3.0, 4.0):
+            engine.timeout(t, name=f"x{t}")
+            engine.timeout(t, name=f"y{t}")
+        engine.run()
+        report = detector.finish()
+        assert report.conflict_groups == 4
+        assert len(report.examples) == 2
+
+
+# --------------------------------------------------------------------------- #
+# End-to-end: run_job(..., sanitize=...)
+# --------------------------------------------------------------------------- #
+
+class TestSanitizedJobs:
+    def test_clean_job_report(self):
+        res = run_job(SPEC, 4, ring_program, sanitize=SanitizerConfig())
+        report = res.sanitizer
+        assert report is not None
+        assert report.clean
+        assert report.transitions_checked > 0
+        assert report.races is not None
+        assert report.races.events_seen == res.events_processed
+        doc = report.as_dict()
+        assert doc["clean"] is True
+        assert doc["leaks"]["leaked_regions"] == []
+        assert "tie_groups" in doc["races"]
+        assert "VI transitions checked" in report.summary()
+
+    def test_sanitized_run_is_event_identical(self):
+        """The acceptance criterion: sanitizers perturb nothing."""
+        def fingerprint(sanitize):
+            recorder = TraceRecorder()
+            engine = Engine(trace=recorder)
+            run_job(SPEC, 4, ring_program, engine=engine, sanitize=sanitize)
+            return recorder.fingerprint()
+
+        assert fingerprint(None) == fingerprint(SanitizerConfig())
+
+    def test_sanitized_results_match_plain(self):
+        plain = run_job(SPEC, 4, ring_program)
+        sane = run_job(SPEC, 4, ring_program, sanitize=SanitizerConfig())
+        assert sane.returns == plain.returns
+        assert sane.events_processed == plain.events_processed
+        assert sane.total_time_us == plain.total_time_us
+
+    def test_works_across_connection_managers(self):
+        for conn in ("ondemand", "static-p2p"):
+            res = run_job(SPEC, 4, ring_program,
+                          config=MpiConfig(connection=conn),
+                          sanitize=SanitizerConfig())
+            assert res.sanitizer is not None and res.sanitizer.clean
+
+    def test_prebuilt_sanitizer_instance_accepted(self):
+        engine = Engine()
+        san = Sanitizer(engine, SanitizerConfig())
+        res = run_job(SPEC, 4, ring_program, engine=engine, sanitize=san)
+        assert res.sanitizer is not None and res.sanitizer.clean
+
+    def test_bad_sanitize_arg_raises_type_error(self):
+        with pytest.raises(TypeError):
+            run_job(SPEC, 4, ring_program, sanitize=object())
+
+    def test_finish_restores_trace_hook(self):
+        recorder = TraceRecorder()
+        engine = Engine(trace=recorder)
+        san = Sanitizer(engine, SanitizerConfig())
+        assert isinstance(engine.trace, EventRaceDetector)
+        run_job(SPEC, 4, ring_program, engine=engine, sanitize=san)
+        assert engine.trace is recorder
+
+    def test_selective_config(self):
+        cfg = SanitizerConfig(state_machine=False, leaks=False, races=True)
+        res = run_job(SPEC, 4, ring_program, sanitize=cfg)
+        report = res.sanitizer
+        assert report.transitions_checked == 0
+        assert report.leaks is None
+        assert report.races is not None and report.races.events_seen > 0

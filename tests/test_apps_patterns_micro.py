@@ -1,6 +1,5 @@
 """Tests for the Table-1 pattern generators and the microbenchmarks."""
 
-import numpy as np
 import pytest
 
 from repro.apps import micro

@@ -8,7 +8,7 @@ import numpy as np
 import pytest
 
 from repro.apps.npb import KERNELS
-from repro.chaos import FaultInjector, FaultPlan, LinkOutage
+from repro.chaos import FaultPlan, LinkOutage
 from repro.cluster import ClusterSpec, run_job
 from repro.cluster.job import JobError
 from repro.mpi import ConnectionFailed, MpiConfig

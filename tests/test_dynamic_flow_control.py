@@ -10,7 +10,6 @@ when senders signal queued demand.
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterSpec, run_job
 from repro.mpi import MpiConfig
 
 from tests.mpi_rig import run

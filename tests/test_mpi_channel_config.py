@@ -1,6 +1,5 @@
 """Unit tests for Channel (flow control, FIFO priority) and MpiConfig."""
 
-import numpy as np
 import pytest
 
 from repro.mpi.channel import Channel, ChannelState, PendingSend

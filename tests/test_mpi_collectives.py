@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi import BAND, BOR, LAND, LOR, MAX, MIN, PROD, SUM
+from repro.mpi import BOR, LAND, MAX, MIN, PROD, SUM
 
 from tests.mpi_rig import run
 

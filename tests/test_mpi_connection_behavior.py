@@ -3,8 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.cluster import ClusterSpec, run_job
-from repro.mpi import MpiConfig
 from repro.via.profiles import BERKELEY, CLAN
 
 from tests.mpi_rig import run

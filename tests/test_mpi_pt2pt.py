@@ -3,8 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.mpi import ANY_SOURCE, ANY_TAG, PROC_NULL, MpiError
-from repro.mpi.constants import SendMode
+from repro.mpi import ANY_SOURCE, ANY_TAG, PROC_NULL
 
 from tests.mpi_rig import ALL_CONNECTIONS, run
 

@@ -5,7 +5,7 @@ is about."""
 import numpy as np
 import pytest
 
-from repro.mpi import ANY_SOURCE, ANY_TAG
+from repro.mpi import ANY_SOURCE
 
 from tests.mpi_rig import ALL_CONNECTIONS, run
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sim import Engine, Event, SimulationError
+from repro.sim import Engine, SimulationError
 
 
 def test_clock_starts_at_zero():

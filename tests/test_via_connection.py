@@ -3,7 +3,6 @@
 import pytest
 
 from repro.via import BERKELEY, CLAN, ViState, ViaConnectionError
-from repro.via.provider import ViConfig
 
 from tests.via_rig import make_rig
 

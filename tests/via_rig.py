@@ -7,7 +7,7 @@ library so tests can drive raw VIP calls.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List
 
 from repro.fabric import Network
