@@ -1,0 +1,132 @@
+"""Content-addressed on-disk result cache for sweep cells.
+
+Every sweep cell (one simulated job) is identified by a SHA-256
+fingerprint of its *canonicalized* configuration, the code-relevant
+package version, and the seed.  Canonicalization sorts dict keys and
+fixes separators, so two configs that differ only in dict insertion
+order hash identically — re-running a sweep with a reordered matrix
+definition still hits the cache.
+
+Cache entries are JSON files under ``<root>/<aa>/<fingerprint>.json``
+(two-level fan-out keeps directories small).  Entries are written
+atomically (tmp file + ``os.replace``) so a killed sweep never leaves a
+half-written entry behind; a corrupted or unreadable entry is treated
+as a miss and deleted best-effort, never an error — the cell is simply
+recomputed.
+
+Bump :data:`CACHE_SCHEMA` whenever the *meaning* of a cached result
+changes (new fields, changed units): it is folded into every
+fingerprint, so stale entries from older schemas are automatically
+unreachable rather than wrongly reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+import repro
+
+#: cache entry schema generation; part of every fingerprint
+CACHE_SCHEMA = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON: sorted keys, fixed separators, no whitespace.
+
+    The byte-determinism of ``BENCH_*.json`` artifacts and the stability
+    of cache fingerprints both rest on this function.
+    """
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def config_fingerprint(
+    config: Dict[str, Any],
+    *,
+    seed: int,
+    version: Optional[str] = None,
+) -> str:
+    """SHA-256 hex fingerprint of (config, package version, seed).
+
+    ``config`` must be JSON-serializable.  Dict key order never matters:
+    canonicalization sorts keys at every nesting level.
+    """
+    payload = canonical_json(
+        {
+            "config": config,
+            "schema": CACHE_SCHEMA,
+            "seed": seed,
+            "version": repro.__version__ if version is None else version,
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """On-disk map from config fingerprint to one cell's result dict."""
+
+    def __init__(self, root: os.PathLike | str):
+        self.root = Path(root)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_recovered = 0
+
+    def path_for(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """The cached result for ``key``, or None.
+
+        A corrupted entry (truncated write from a killed process, disk
+        error, stray file) is deleted best-effort and reported as a
+        miss, so the caller recomputes instead of crashing.
+        """
+        path = self.path_for(key)
+        try:
+            with open(path, encoding="utf-8") as fh:
+                entry = json.load(fh)
+            if not isinstance(entry, dict) or entry.get("key") != key:
+                raise ValueError("cache entry does not match its key")
+            result = entry["result"]
+            if not isinstance(result, dict):
+                raise ValueError("cache entry has no result dict")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (ValueError, KeyError, OSError):
+            # invalid JSON, wrong shape, unreadable: recover by dropping
+            self.corrupt_recovered += 1
+            self.misses += 1
+            try:
+                os.unlink(path)
+            except OSError:  # pragma: no cover - best-effort cleanup
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: Dict[str, Any]) -> None:
+        """Atomically store ``result`` under ``key``."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = canonical_json({"key": key, "result": result})
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(payload)
+            os.replace(tmp, path)
+        except BaseException:  # pragma: no cover - crash-safety cleanup
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()

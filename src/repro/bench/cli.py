@@ -8,6 +8,8 @@ Examples::
     python -m repro.bench table1 --large      # add the scaling column
     python -m repro.bench chaos --smoke       # fault-injection sweep
     python -m repro.bench trace cg --np 4     # telemetry + Chrome trace
+    python -m repro.bench sweep --workers 4   # parallel cached sweep
+    python -m repro.bench golden --check      # golden-trace fingerprints
 """
 
 from __future__ import annotations
@@ -41,6 +43,16 @@ def main(argv=None) -> int:
         from repro.bench.sanitize_cmd import main as sanitize_main
 
         return sanitize_main(argv[1:])
+    if argv and argv[0] == "sweep":
+        # parallel cached sweep runner (own flags as well)
+        from repro.bench.sweep_cmd import main as sweep_main
+
+        return sweep_main(argv[1:])
+    if argv and argv[0] == "golden":
+        # golden-trace fingerprint check/regeneration (own flags as well)
+        from repro.bench.golden import main as golden_main
+
+        return golden_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro-bench",
         description="Regenerate the paper's tables and figures.",

@@ -342,3 +342,67 @@ def run_job(
         telemetry=tel,
         sanitizer=san_report,
     )
+
+
+# -- worker-safe sweep entry ------------------------------------------------
+#
+# run_kernel_cell is the multiprocessing boundary of repro.bench.runner:
+# a *top-level, picklable* function taking only plain JSON-able scalars,
+# so it imports and runs identically under fork and spawn start methods.
+# It builds every object it needs from scratch (no module-level mutable
+# state is touched), which makes concurrent workers in one sweep safe.
+
+def run_kernel_cell(
+    kernel: str,
+    npb_class: str,
+    nprocs: int,
+    nodes: int,
+    ppn: int,
+    profile: str,
+    connection: str,
+    seed: int,
+    record_fingerprint: bool = False,
+) -> Dict[str, Any]:
+    """Run one NPB kernel job from scalar parameters; return plain metrics.
+
+    The returned dict contains only JSON-serializable deterministic
+    values (simulated time, event count, resource counters) — exactly
+    what one sweep cell contributes to a ``BENCH_*.json`` artifact.
+    Host wall-clock is deliberately *not* measured here: the runner
+    measures it around this call so the simulation layer stays free of
+    wall-clock reads.
+
+    With ``record_fingerprint`` a :class:`~repro.sim.trace.TraceRecorder`
+    is attached and the SHA-256 trace fingerprint is included (used by
+    the golden-trace regression suite; costs memory on big jobs).
+    """
+    from repro.apps.npb import KERNELS
+    from repro.sim.trace import TraceRecorder
+    from repro.via.profiles import profile_by_name
+
+    if kernel not in KERNELS:
+        raise ValueError(f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}")
+    recorder = TraceRecorder() if record_fingerprint else None
+    engine = Engine(trace=recorder)
+    spec = ClusterSpec(
+        nodes=nodes, ppn=ppn, profile=profile_by_name(profile), seed=seed
+    )
+    res = run_job(
+        spec, nprocs, KERNELS[kernel](npb_class),
+        config=MpiConfig(connection=connection),
+        engine=engine,
+    )
+    cell: Dict[str, Any] = {
+        "sim_time_us": res.total_time_us,
+        "finished_at_us": res.finished_at_us,
+        "avg_init_us": res.avg_init_time_us,
+        "max_init_us": res.max_init_time_us,
+        "events": res.events_processed,
+        "total_connections": res.resources.total_connections,
+        "avg_vis": res.resources.avg_vis,
+        "pinned_peak_bytes": res.resources.total_pinned_peak_bytes,
+        "dropped_messages": res.dropped_messages,
+    }
+    if recorder is not None:
+        cell["fingerprint"] = recorder.fingerprint()
+    return cell

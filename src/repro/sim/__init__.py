@@ -16,7 +16,14 @@ Design goals:
   :meth:`Engine.timeout`, or :meth:`~repro.sim.signal.Signal.wait`.
 """
 
-from repro.sim.engine import Engine, Event, Interrupt, SimulationError, any_of
+from repro.sim.engine import (
+    Engine,
+    Event,
+    Interrupt,
+    NegativeDelayError,
+    SimulationError,
+    any_of,
+)
 from repro.sim.process import Process
 from repro.sim.signal import Signal
 from repro.sim.rng import RngStreams
@@ -27,6 +34,7 @@ __all__ = [
     "any_of",
     "Event",
     "Interrupt",
+    "NegativeDelayError",
     "SimulationError",
     "Process",
     "Signal",

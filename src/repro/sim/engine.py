@@ -22,6 +22,24 @@ class SimulationError(RuntimeError):
     running a finished engine, deadlock detection, ...)."""
 
 
+class NegativeDelayError(SimulationError, ValueError):
+    """A negative delay reached the scheduler.
+
+    Scheduling into the past would corrupt the heap invariant (events
+    must pop in nondecreasing time order), so :meth:`Engine.timeout`,
+    :meth:`Engine.schedule` and every trigger path reject it up front.
+    Subclasses ``ValueError`` for backward compatibility with callers
+    that caught the old untyped error.
+    """
+
+    def __init__(self, delay: float, where: str = "schedule"):
+        super().__init__(
+            f"negative delay {delay!r} in Engine.{where}(): events cannot "
+            "be scheduled into the past"
+        )
+        self.delay = delay
+
+
 class Interrupt(Exception):
     """Thrown into a process that is interrupted while waiting.
 
@@ -154,17 +172,38 @@ class Engine:
         return Event(self, name)
 
     def timeout(self, delay: float, value: Any = None, name: str = "") -> Event:
-        """An event that succeeds ``delay`` microseconds from now."""
+        """An event that succeeds ``delay`` microseconds from now.
+
+        Raises :class:`NegativeDelayError` on ``delay < 0``.
+        """
         if delay < 0:
-            raise ValueError(f"negative timeout {delay}")
+            raise NegativeDelayError(delay, "timeout")
+        # inlined succeed(): the triple assignment below is exactly what
+        # Event.succeed() does for a fresh event, minus the already-
+        # triggered check that cannot fire here (hot path: one timeout
+        # per yield of every simulated process)
         ev = Event(self, name or "timeout")
-        ev.succeed(value, delay=delay)
+        ev._triggered = True
+        ev._ok = True
+        ev._value = value
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
         return ev
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
-        """Run ``fn()`` after ``delay`` microseconds; returns the event."""
-        ev = self.timeout(delay, name=getattr(fn, "__name__", "scheduled"))
-        ev.add_callback(lambda _ev: fn())
+        """Run ``fn()`` after ``delay`` microseconds; returns the event.
+
+        Raises :class:`NegativeDelayError` on ``delay < 0``.
+        """
+        if delay < 0:
+            raise NegativeDelayError(delay, "schedule")
+        ev = Event(self, getattr(fn, "__name__", "scheduled"))
+        ev._triggered = True
+        ev._ok = True
+        ev._value = None
+        ev.callbacks.append(lambda _ev: fn())
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
         return ev
 
     def process(self, generator) -> "Process":
@@ -176,7 +215,7 @@ class Engine:
     # -- heap internals ----------------------------------------------------
     def _push(self, delay: float, event: Event) -> None:
         if delay < 0:
-            raise ValueError(f"negative delay {delay}")
+            raise NegativeDelayError(delay, "_push")
         self._seq += 1
         heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
@@ -204,18 +243,58 @@ class Engine:
     def run(self, until: Optional[float] = None) -> float:
         """Run until the heap drains (or the clock passes ``until``).
 
-        Returns the final simulated time."""
+        Returns the final simulated time.
+
+        This is the DES hot loop: it processes the same events in the
+        same order as repeated :meth:`step` calls, but keeps the heap,
+        ``heappop`` and the event counter in locals, and hoists the
+        trace-hook and ``until`` checks out of the per-event path.
+        Installing a trace hook *mid-run* (from a callback) is
+        unsupported — hooks must be in place before :meth:`run`, which
+        every recorder in this codebase already guarantees.
+        ``events_processed`` is written back on every exit path, so it
+        is exact whenever the engine is not actively running.
+        """
         if self._running:
             raise SimulationError("engine is already running")
         self._running = True
+        heap = self._heap
+        heappop = heapq.heappop
+        trace = self.trace
+        processed = self.events_processed
         try:
-            while self._heap:
-                if until is not None and self.peek() > until:
-                    self.now = until
-                    break
-                self.step()
+            if until is None and trace is None:
+                # fastest variant: no deadline, no recorder
+                while heap:
+                    t, _seq, ev = heappop(heap)
+                    self.now = t
+                    ev._processed = True
+                    processed += 1
+                    cbs = ev.callbacks
+                    if cbs:
+                        ev.callbacks = []
+                        for fn in cbs:
+                            fn(ev)
+            else:
+                while heap:
+                    t = heap[0][0]
+                    if until is not None and t > until:
+                        self.now = until
+                        break
+                    t, _seq, ev = heappop(heap)
+                    self.now = t
+                    ev._processed = True
+                    processed += 1
+                    if trace is not None:
+                        trace.on_event(t, ev)
+                    cbs = ev.callbacks
+                    if cbs:
+                        ev.callbacks = []
+                        for fn in cbs:
+                            fn(ev)
         finally:
             self._running = False
+            self.events_processed = processed
         return self.now
 
     def run_until_event(self, event: Event) -> Any:

@@ -45,6 +45,10 @@ if TYPE_CHECKING:  # pragma: no cover
 #: wire size of a transport ack (reliability sublayer control packet)
 ACK_WIRE_BYTES = 32
 
+#: VI states the firmware doorbell scan must visit (paper Figure 1);
+#: the NIC tracks this count incrementally via VI state transitions
+ACTIVE_VI_STATES = frozenset((ViState.CONNECTED, ViState.CONNECT_PENDING))
+
 
 class _Inflight:
     """One unacknowledged sequenced message awaiting ack or retransmit."""
@@ -76,6 +80,11 @@ class Nic:
         self._vis: Dict[int, VI] = {}
         self._owners: Dict[int, "ViaProvider"] = {}
         self._next_vi_id = 1
+        #: incrementally maintained count of CONNECTED/CONNECT_PENDING
+        #: attached VIs — the doorbell-scan population.  Kept exact by
+        #: attach_vi/detach_vi and VI state-setter notifications so the
+        #: per-service lookup is O(1) (it used to re-scan every VI).
+        self._active_vis = 0
 
         # serial send engine
         self._tx_queue: Deque[VI] = deque()
@@ -130,11 +139,21 @@ class Nic:
             )
         self._vis[vi.vi_id] = vi
         self._owners[vi.vi_id] = owner
+        vi.nic = self
+        if vi.state in ACTIVE_VI_STATES:
+            self._active_vis += 1
 
     def detach_vi(self, vi: VI) -> None:
-        self._vis.pop(vi.vi_id, None)
+        if self._vis.pop(vi.vi_id, None) is not None:
+            vi.nic = None
+            if vi.state in ACTIVE_VI_STATES:
+                self._active_vis -= 1
         self._owners.pop(vi.vi_id, None)
         self._rtx.pop(vi.vi_id, None)
+
+    def on_vi_state_change(self, old: ViState, new: ViState) -> None:
+        """Called by the VI state setter for every attached-VI transition."""
+        self._active_vis += (new in ACTIVE_VI_STATES) - (old in ACTIVE_VI_STATES)
 
     def lookup_vi(self, vi_id: int) -> Optional[VI]:
         return self._vis.get(vi_id)
@@ -149,11 +168,12 @@ class Nic:
     @property
     def active_vi_count(self) -> int:
         """VIs the firmware must scan: connected or connecting."""
-        return sum(
-            1
-            for vi in self._vis.values()
-            if vi.state in (ViState.CONNECTED, ViState.CONNECT_PENDING)
-        )
+        return self._active_vis
+
+    def recount_active_vis(self) -> int:
+        """O(#VIs) recomputation of :attr:`active_vi_count` from scratch
+        (tests assert it always agrees with the incremental counter)."""
+        return sum(1 for vi in self._vis.values() if vi.state in ACTIVE_VI_STATES)
 
     # -- send path -------------------------------------------------------------
     def ring_doorbell(self, vi: VI) -> None:
@@ -165,12 +185,15 @@ class Nic:
         if self._tx_scheduled or not self._tx_queue:
             return
         self._tx_scheduled = True
-        start = max(self.engine.now, self._tx_busy_until)
-        service = self.profile.nic_send_service_us(self.active_vi_count)
-        done = start + service
+        now = self.engine.now
+        start = self._tx_busy_until
+        if start < now:
+            start = now
+        done = start + self.profile.nic_send_service_us(self._active_vis)
         self._tx_busy_until = done
-        self._tx_window = (start, done)  # exactly one tx service in flight
-        self.engine.schedule(done - self.engine.now, self._service_one_tx)
+        if self.telemetry is not None:
+            self._tx_window = (start, done)  # exactly one tx service in flight
+        self.engine.schedule(done - now, self._service_one_tx)
 
     def _service_one_tx(self) -> None:
         self._tx_scheduled = False
@@ -373,6 +396,13 @@ class Nic:
     # -- receive path ------------------------------------------------------------
     def _on_packet(self, packet: Packet) -> None:
         payload = packet.payload
+        # exact-type fast path: data traffic vastly outnumbers connection
+        # control and transport acks, so skip the isinstance chain for it
+        cls = type(payload)
+        if cls is DataMessage or cls is RdmaWriteMessage:
+            self._rx_queue.append(packet)
+            self._kick_rx()
+            return
         if isinstance(payload, CONTROL_TYPES):
             if self.agent is None:  # pragma: no cover - wiring error
                 raise ViaProtocolError(f"node {self.node_id} has no connection agent")
@@ -388,12 +418,15 @@ class Nic:
         if self._rx_scheduled or not self._rx_queue:
             return
         self._rx_scheduled = True
-        start = max(self.engine.now, self._rx_busy_until)
-        service = self.profile.nic_recv_service_us(self.active_vi_count)
-        done = start + service
+        now = self.engine.now
+        start = self._rx_busy_until
+        if start < now:
+            start = now
+        done = start + self.profile.nic_recv_service_us(self._active_vis)
         self._rx_busy_until = done
-        self._rx_window = (start, done)  # exactly one rx service in flight
-        self.engine.schedule(done - self.engine.now, self._service_one_rx)
+        if self.telemetry is not None:
+            self._rx_window = (start, done)  # exactly one rx service in flight
+        self.engine.schedule(done - now, self._service_one_rx)
 
     def _service_one_rx(self) -> None:
         self._rx_scheduled = False

@@ -30,6 +30,7 @@ class VI:
         "node_id",
         "owner_rank",
         "_state",
+        "nic",
         "monitor",
         "protection_tag",
         "send_cq",
@@ -68,6 +69,10 @@ class VI:
         #: optional state-machine observer (see repro.analysis.sanitizers);
         #: must be set before the first transition to see it
         self.monitor = None
+        #: the NIC this VI is attached to (set by Nic.attach_vi); the NIC
+        #: keeps an incremental active-VI count so the firmware doorbell
+        #: scan cost is O(1) to look up instead of O(#VIs) per service
+        self.nic = None
         self._state = ViState.IDLE
         self.protection_tag = protection_tag
         self.send_cq = send_cq
@@ -110,8 +115,11 @@ class VI:
         well as the mark_* helpers."""
         old = self._state
         self._state = new
-        if self.monitor is not None and old is not new:
-            self.monitor.on_transition(self, old, new)
+        if old is not new:
+            if self.nic is not None:
+                self.nic.on_vi_state_change(old, new)
+            if self.monitor is not None:
+                self.monitor.on_transition(self, old, new)
 
     @property
     def is_connected(self) -> bool:

@@ -1,0 +1,148 @@
+"""Property tests for the sweep result cache (repro.bench.cache)."""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.cache import (
+    CACHE_SCHEMA,
+    ResultCache,
+    canonical_json,
+    config_fingerprint,
+)
+
+# -- fingerprint properties --------------------------------------------------
+
+json_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.text(max_size=20),
+)
+json_values = st.recursive(
+    json_scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=10), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+configs = st.dictionaries(st.text(min_size=1, max_size=12), json_values, max_size=6)
+
+
+def reordered(d: dict) -> dict:
+    """Same mapping, reversed insertion order (recursively)."""
+    return {
+        k: reordered(v) if isinstance(v, dict) else v
+        for k, v in reversed(list(d.items()))
+    }
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs, st.integers(min_value=0, max_value=2**31))
+def test_fingerprint_stable_under_key_reordering(config, seed):
+    assert config_fingerprint(config, seed=seed) == config_fingerprint(
+        reordered(config), seed=seed
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(configs, st.integers(min_value=0, max_value=2**31))
+def test_fingerprint_is_sha256_hex(config, seed):
+    fp = config_fingerprint(config, seed=seed)
+    assert len(fp) == 64
+    int(fp, 16)
+
+
+def test_fingerprint_sensitive_to_every_component():
+    base = {"kernel": "cg", "nprocs": 8}
+    fp = config_fingerprint(base, seed=0)
+    assert config_fingerprint({**base, "nprocs": 4}, seed=0) != fp
+    assert config_fingerprint(base, seed=1) != fp
+    assert config_fingerprint(base, seed=0, version="9.9.9") != fp
+
+
+def test_canonical_json_is_order_free_and_compact():
+    a = canonical_json({"b": 1, "a": {"d": 2, "c": 3}})
+    b = canonical_json({"a": {"c": 3, "d": 2}, "b": 1})
+    assert a == b
+    assert " " not in a
+
+
+def test_schema_generation_is_part_of_the_key():
+    # bumping CACHE_SCHEMA must orphan old entries (documented contract)
+    assert "schema" in canonical_json(
+        {"schema": CACHE_SCHEMA}
+    )  # sanity: literal survives canonicalization
+
+
+# -- cache hit/miss/recovery behaviour --------------------------------------
+
+
+@pytest.fixture()
+def cache(tmp_path):
+    return ResultCache(tmp_path / "cache")
+
+
+def test_miss_then_hit(cache):
+    key = config_fingerprint({"kernel": "cg"}, seed=0)
+    assert cache.get(key) is None
+    assert key not in cache
+    cache.put(key, {"events": 123, "wall_s": 0.5})
+    assert key in cache
+    assert cache.get(key) == {"events": 123, "wall_s": 0.5}
+    assert cache.hits == 1 and cache.misses == 1
+
+
+def test_distinct_keys_do_not_collide(cache):
+    k1 = config_fingerprint({"kernel": "cg"}, seed=0)
+    k2 = config_fingerprint({"kernel": "mg"}, seed=0)
+    cache.put(k1, {"v": 1})
+    cache.put(k2, {"v": 2})
+    assert cache.get(k1) == {"v": 1}
+    assert cache.get(k2) == {"v": 2}
+
+
+def test_corrupted_entry_recovers_by_recompute(cache):
+    key = config_fingerprint({"kernel": "cg"}, seed=0)
+    cache.put(key, {"v": 1})
+    path = cache.path_for(key)
+    path.write_text("{ this is not json", encoding="utf-8")
+    # invalid JSON -> miss (recompute), never a crash; bad file removed
+    assert cache.get(key) is None
+    assert cache.corrupt_recovered == 1
+    assert not path.exists()
+    cache.put(key, {"v": 2})
+    assert cache.get(key) == {"v": 2}
+
+
+def test_wrong_shape_entry_is_also_recovered(cache):
+    key = config_fingerprint({"kernel": "cg"}, seed=0)
+    path = cache.path_for(key)
+    path.parent.mkdir(parents=True)
+    path.write_text(json.dumps([1, 2, 3]), encoding="utf-8")
+    assert cache.get(key) is None
+    assert cache.corrupt_recovered == 1
+
+
+def test_key_mismatch_inside_entry_is_recovered(cache):
+    # an entry renamed on disk (or a torn copy) must not be served
+    k1 = config_fingerprint({"kernel": "cg"}, seed=0)
+    k2 = config_fingerprint({"kernel": "mg"}, seed=0)
+    cache.put(k1, {"v": 1})
+    target = cache.path_for(k2)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    cache.path_for(k1).rename(target)
+    assert cache.get(k2) is None
+    assert cache.corrupt_recovered == 1
+
+
+def test_put_is_atomic_no_tmp_left_behind(cache):
+    key = config_fingerprint({"kernel": "cg"}, seed=0)
+    cache.put(key, {"v": 1})
+    leftovers = [
+        p for p in cache.path_for(key).parent.iterdir() if p.suffix == ".tmp"
+    ]
+    assert leftovers == []

@@ -1,0 +1,177 @@
+"""Sweep-runner tests: matrix expansion, caching, determinism, perf floor."""
+
+import json
+import time
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.runner import (
+    MATRICES,
+    SweepCell,
+    SweepMatrix,
+    SweepRunner,
+    bench_artifact,
+    write_bench_json,
+)
+from repro.cluster.job import run_kernel_cell
+
+#: tiny matrix: EP cells finish in ~10ms each
+TINY = SweepMatrix(
+    name="tiny", kernels=("ep",), nprocs=(2, 4),
+    connections=("ondemand", "static-p2p"), nodes=4,
+)
+
+
+class TestMatrixExpansion:
+    def test_cells_are_deterministic_and_complete(self):
+        cells = TINY.cells()
+        assert len(cells) == 4
+        assert cells == TINY.cells()
+        assert all(isinstance(c, SweepCell) for c in cells)
+
+    def test_invalid_combinations_are_skipped(self):
+        m = SweepMatrix(
+            name="bvia", kernels=("ep",), nprocs=(4, 16),
+            connections=("ondemand", "static-cs"), nodes=8, ppn=2,
+            profile="berkeley",
+        )
+        cells = m.cells()
+        # berkeley: no client/server, and at most one process per node
+        assert all(c.connection != "static-cs" for c in cells)
+        assert all(c.nprocs <= m.nodes for c in cells)
+        assert len(cells) == 1
+
+    def test_oversubscribed_nprocs_skipped(self):
+        m = SweepMatrix(name="x", kernels=("ep",), nprocs=(4, 64),
+                        connections=("ondemand",), nodes=4, ppn=1)
+        assert [c.nprocs for c in m.cells()] == [4]
+
+    def test_builtin_matrices_expand_nonempty(self):
+        for name, matrix in MATRICES.items():
+            assert matrix.cells(), name
+
+    def test_cell_keys_differ_across_axes(self):
+        keys = {c.key() for c in MATRICES["paper"].cells()}
+        assert len(keys) == len(MATRICES["paper"].cells())
+
+
+class TestRunnerCaching:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        out1 = SweepRunner(TINY, workers=1, cache=cache).run()
+        assert out1.computed == 4 and out1.cached == 0
+        out2 = SweepRunner(TINY, workers=1, cache=cache).run()
+        assert out2.computed == 0 and out2.cached == 4
+        assert bench_artifact(out1) == bench_artifact(out2)
+
+    def test_partial_cache_resumes(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        SweepRunner(TINY, workers=1, cache=cache).run()
+        # drop one entry: only that cell recomputes
+        victim = TINY.cells()[0].key()
+        cache.path_for(victim).unlink()
+        out = SweepRunner(TINY, workers=1, cache=cache).run()
+        assert out.computed == 1 and out.cached == 3
+
+    def test_no_cache_recomputes_everything(self):
+        out = SweepRunner(TINY, workers=1, cache=None).run()
+        assert out.computed == 4 and out.cached == 0
+
+    def test_json_artifact_byte_identical_across_runs(self, tmp_path):
+        """The fast determinism check of the acceptance criteria: two
+        invocations sharing a cache write identical BENCH bytes."""
+        cache = ResultCache(tmp_path / "c")
+        p1 = write_bench_json(
+            SweepRunner(TINY, workers=1, cache=cache).run(), tmp_path / "a")
+        p2 = write_bench_json(
+            SweepRunner(TINY, workers=1, cache=cache).run(), tmp_path / "b")
+        b1, b2 = p1.read_bytes(), p2.read_bytes()
+        assert b1 == b2
+        doc = json.loads(b1)
+        assert doc["bench"] == "tiny" and len(doc["cells"]) == 4
+        for cell in doc["cells"]:
+            for field in ("sim_time_us", "events", "events_per_sec",
+                          "wall_s", "total_connections", "avg_vis"):
+                assert field in cell["result"], field
+
+    def test_deterministic_metrics_independent_of_cache(self, tmp_path):
+        """Everything except host wall-time is run-to-run identical even
+        across *cold* runs (separate caches)."""
+        outs = [
+            SweepRunner(TINY, workers=1,
+                        cache=ResultCache(tmp_path / f"c{i}")).run()
+            for i in range(2)
+        ]
+        for (cell_a, ra), (cell_b, rb) in zip(outs[0].results, outs[1].results):
+            assert cell_a == cell_b
+            for field in ("sim_time_us", "finished_at_us", "events",
+                          "total_connections", "avg_vis", "pinned_peak_bytes"):
+                assert ra[field] == rb[field], field
+
+
+class TestParallelWorkers:
+    def test_pool_path_matches_serial_results(self, tmp_path):
+        serial = SweepRunner(TINY, workers=1, cache=None).run()
+        parallel = SweepRunner(TINY, workers=2, cache=None).run()
+        for (cell_s, rs), (cell_p, rp) in zip(serial.results, parallel.results):
+            assert cell_s == cell_p
+            assert rs["sim_time_us"] == rp["sim_time_us"]
+            assert rs["events"] == rp["events"]
+
+    def test_worker_entry_is_picklable(self):
+        import pickle
+
+        from repro.bench.runner import _run_cell_worker
+
+        assert pickle.loads(pickle.dumps(_run_cell_worker)) is _run_cell_worker
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            SweepRunner(TINY, workers=0)
+
+
+class TestWorkerEntry:
+    def test_unknown_kernel_is_a_typed_error(self):
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_kernel_cell(
+                kernel="nope", npb_class="S", nprocs=2, nodes=2, ppn=1,
+                profile="clan", connection="ondemand", seed=0,
+            )
+
+    def test_metrics_are_plain_json(self):
+        metrics = run_kernel_cell(
+            kernel="ep", npb_class="S", nprocs=2, nodes=2, ppn=1,
+            profile="clan", connection="ondemand", seed=0,
+        )
+        json.dumps(metrics)  # no numpy scalars, no objects
+        assert metrics["events"] > 0
+        assert "fingerprint" not in metrics
+
+    def test_fingerprint_opt_in(self):
+        metrics = run_kernel_cell(
+            kernel="ep", npb_class="S", nprocs=2, nodes=2, ppn=1,
+            profile="clan", connection="ondemand", seed=0,
+            record_fingerprint=True,
+        )
+        assert len(metrics["fingerprint"]) == 64
+
+
+@pytest.mark.slow
+class TestPerfSmoke:
+    def test_cg_cell_events_per_sec_floor(self):
+        """Budget assertion: one CG cell must sustain a conservative
+        events/sec floor.  The floor is ~5x below what this codebase
+        does on a developer machine (>25k ev/s), so it only trips on a
+        real hot-path regression, not on a slow CI box."""
+        started = time.perf_counter()
+        metrics = run_kernel_cell(
+            kernel="cg", npb_class="S", nprocs=4, nodes=4, ppn=1,
+            profile="clan", connection="ondemand", seed=0,
+        )
+        wall = time.perf_counter() - started
+        assert metrics["events"] > 20_000  # CG.S np=4 is a real workload
+        assert metrics["events"] / wall > 5_000, (
+            f"DES hot path regressed: {metrics['events'] / wall:.0f} ev/s "
+            f"({metrics['events']} events in {wall:.2f}s)"
+        )

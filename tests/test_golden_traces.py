@@ -1,0 +1,67 @@
+"""Golden-trace regression suite.
+
+``tests/golden/fingerprints.json`` records the SHA-256 engine-trace
+fingerprint of every NPB kernel × connection mechanism at the small
+golden size.  These tests recompute each one: an engine or NIC change
+that alters *observable* simulation behaviour (event order, timing,
+names, success flags) fails here loudly, while pure host-CPU
+optimizations (the point of the PR that introduced this net) pass
+untouched.
+
+Intentional behaviour change?  Regenerate and review the JSON diff::
+
+    PYTHONPATH=src python -m repro.bench golden --update
+"""
+
+import pytest
+
+from repro.bench.golden import (
+    GOLDEN_CONNECTIONS,
+    GOLDEN_KERNELS,
+    GOLDEN_PATH,
+    REGEN_COMMAND,
+    golden_cell,
+    load_golden,
+)
+
+RECORDED = load_golden()
+CELL_KEYS = sorted(k for k in RECORDED if k != "_meta")
+
+
+def test_golden_file_covers_full_matrix():
+    expected = {
+        f"{kernel}/{conn}"
+        for kernel in GOLDEN_KERNELS
+        for conn in GOLDEN_CONNECTIONS
+    }
+    assert set(CELL_KEYS) == expected
+    assert RECORDED["_meta"]["regenerate"] == REGEN_COMMAND
+
+
+def test_golden_fingerprints_are_sha256_hex():
+    for key in CELL_KEYS:
+        fp = RECORDED[key]["fingerprint"]
+        assert isinstance(fp, str) and len(fp) == 64, key
+        int(fp, 16)
+
+
+@pytest.mark.parametrize("key", CELL_KEYS)
+def test_golden_trace_matches(key):
+    kernel, connection = key.split("/")
+    fresh = golden_cell(kernel, connection)
+    want = RECORDED[key]
+    assert fresh["fingerprint"] == want["fingerprint"], (
+        f"{key}: observable simulation behaviour changed "
+        f"(events {want['events']} -> {fresh['events']}, "
+        f"sim time {want['sim_time_us']:.1f} -> {fresh['sim_time_us']:.1f}µs). "
+        f"If intentional, regenerate with: {REGEN_COMMAND}"
+    )
+    assert fresh["events"] == want["events"]
+    assert fresh["sim_time_us"] == pytest.approx(want["sim_time_us"])
+
+
+def test_golden_path_is_under_tests():
+    # the recorded file ships with the test suite, not the package
+    assert GOLDEN_PATH.name == "fingerprints.json"
+    assert GOLDEN_PATH.parent.name == "golden"
+    assert GOLDEN_PATH.is_file()

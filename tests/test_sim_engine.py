@@ -156,3 +156,97 @@ def test_peek_reports_next_event_time():
     assert eng.peek() == float("inf")
     eng.timeout(4.0)
     assert eng.peek() == 4.0
+
+
+# -- typed negative-delay errors (heap-order protection) -------------------
+
+def test_negative_timeout_raises_typed_error():
+    from repro.sim import NegativeDelayError
+
+    eng = Engine()
+    with pytest.raises(NegativeDelayError) as exc:
+        eng.timeout(-0.5)
+    assert exc.value.delay == -0.5
+
+
+def test_negative_schedule_raises_typed_error():
+    from repro.sim import NegativeDelayError
+
+    eng = Engine()
+    with pytest.raises(NegativeDelayError):
+        eng.schedule(-1e-9, lambda: None)
+    # nothing half-scheduled: the heap stays empty and runnable
+    assert eng.peek() == float("inf")
+    eng.run()
+    assert eng.events_processed == 0
+
+
+def test_negative_trigger_delay_raises_typed_error():
+    from repro.sim import NegativeDelayError
+
+    eng = Engine()
+    with pytest.raises(NegativeDelayError):
+        eng.event().succeed(delay=-2.0)
+    with pytest.raises(NegativeDelayError):
+        eng.event().fail(ValueError("x"), delay=-2.0)
+
+
+def test_negative_delay_error_is_backward_compatible():
+    """Old callers caught ValueError; the typed error must still be one,
+    and a SimulationError for engine-level handlers."""
+    from repro.sim import NegativeDelayError
+
+    assert issubclass(NegativeDelayError, ValueError)
+    assert issubclass(NegativeDelayError, SimulationError)
+    eng = Engine()
+    with pytest.raises(ValueError):
+        eng.timeout(-1.0)
+
+
+def test_heap_order_intact_after_rejected_negative_delay():
+    from repro.sim import NegativeDelayError
+
+    eng = Engine()
+    order = []
+    eng.schedule(10.0, lambda: order.append("a"))
+    with pytest.raises(NegativeDelayError):
+        eng.schedule(-5.0, lambda: order.append("bad"))
+    eng.schedule(20.0, lambda: order.append("b"))
+    eng.run()
+    assert order == ["a", "b"]
+    assert eng.now == 20.0
+
+
+# -- hot-loop equivalence: run() vs repeated step() ------------------------
+
+def test_run_and_step_process_identically():
+    def build():
+        eng = Engine()
+        log = []
+        def tick(tag, dly):
+            log.append((tag, eng.now))
+            if dly < 40:
+                eng.schedule(dly * 2, lambda: tick(tag + "x", dly * 2))
+        eng.schedule(5.0, lambda: tick("a", 5.0))
+        eng.schedule(5.0, lambda: tick("b", 10.0))
+        eng.timeout(17.0)
+        return eng, log
+
+    e1, log1 = build()
+    e1.run()
+    e2, log2 = build()
+    while e2._heap:
+        e2.step()
+    assert log1 == log2
+    assert e1.now == e2.now
+    assert e1.events_processed == e2.events_processed
+
+
+def test_events_processed_exact_after_run_with_until():
+    eng = Engine()
+    for k in range(5):
+        eng.timeout(float(k))
+    eng.run(until=2.5)
+    assert eng.events_processed == 3
+    eng.run()
+    assert eng.events_processed == 5
