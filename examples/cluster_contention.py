@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Cluster contention study: co-scheduled MPI jobs under a VI quota.
+
+The paper measures one job at a time, but its scalability argument is
+about a *shared* machine: a static MPI_Init pins one VI per peer on
+every NIC it touches, whether or not the application ever sends on it.
+On a NIC with a bounded VI table, that head-room is exactly what decides
+whether the *next* arriving job can start.
+
+This study replays one seeded arrival trace (same jobs, same arrival
+instants, same sizes) under each connection mechanism and a per-NIC VI
+quota, and prints what the scheduler saw: on-demand jobs reserve only
+the VIs their communication graph uses, so they co-schedule where
+static jobs must wait for the whole mesh to fit.
+
+Run:  python examples/cluster_contention.py
+"""
+
+from repro.cluster import ClusterSpec, WorkloadSpec, run_cluster, with_connection
+
+
+def study(vi_quota, policy="fcfs"):
+    spec = ClusterSpec(nodes=4, ppn=2, seed=0, vi_quota=vi_quota)
+    trace = WorkloadSpec(
+        njobs=6, mean_interarrival_us=1500.0,
+        kernels=("ring", "allreduce"), nprocs_choices=(4,), seed=0,
+    ).generate()
+
+    print(f"=== quota {vi_quota} VIs/NIC, {policy} + spread, "
+          f"{len(trace)} jobs, same arrivals per row ===")
+    header = (f"  {'mechanism':<12} {'makespan ms':>12} {'avg wait ms':>12} "
+              f"{'peak jobs':>10} {'max NIC VIs':>12}")
+    print(header)
+    for conn in ("static-p2p", "ondemand"):
+        res = run_cluster(spec, with_connection(trace, conn),
+                          policy=policy, placement="spread")
+        hw = max(res.nic_vi_high_water.values(), default=0)
+        print(f"  {conn:<12} {res.makespan_us / 1e3:12.2f} "
+              f"{res.avg_wait_us / 1e3:12.2f} "
+              f"{res.peak_concurrent_jobs:10d} {hw:12d}")
+    print()
+
+
+def main():
+    # a quota below N-1 = 3: the static mesh cannot double-book a NIC,
+    # on-demand ring/allreduce jobs can (they reserve 2 VIs per process)
+    study(vi_quota=4)
+    # loosening the quota dissolves the contention: both mechanisms
+    # co-schedule and the makespans converge
+    study(vi_quota=8)
+    # EASY backfill lets small jobs slip past a blocked static head
+    study(vi_quota=4, policy="easy")
+
+
+if __name__ == "__main__":
+    main()

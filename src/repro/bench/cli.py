@@ -9,6 +9,7 @@ Examples::
     python -m repro.bench chaos --smoke       # fault-injection sweep
     python -m repro.bench trace cg --np 4     # telemetry + Chrome trace
     python -m repro.bench sweep --workers 4   # parallel cached sweep
+    python -m repro.bench cluster --workers 3 # multi-job scheduler sweep
     python -m repro.bench golden --check      # golden-trace fingerprints
 """
 
@@ -48,6 +49,11 @@ def main(argv=None) -> int:
         from repro.bench.sweep_cmd import main as sweep_main
 
         return sweep_main(argv[1:])
+    if argv and argv[0] == "cluster":
+        # multi-job cluster scheduling comparison (own flags as well)
+        from repro.bench.cluster_cmd import main as cluster_main
+
+        return cluster_main(argv[1:])
     if argv and argv[0] == "golden":
         # golden-trace fingerprint check/regeneration (own flags as well)
         from repro.bench.golden import main as golden_main

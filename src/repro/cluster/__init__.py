@@ -19,7 +19,29 @@ timings and the resource metrics the paper tabulates.
 """
 
 from repro.cluster.spec import ClusterSpec, rank_to_node
+from repro.cluster.build import ClusterStack, build_cluster
 from repro.cluster.job import JobResult, run_job
 from repro.cluster.oob import OobBoard
+from repro.cluster.workload import (
+    CLUSTER_KERNELS,
+    JobSpec,
+    WorkloadSpec,
+    with_connection,
+)
+from repro.cluster.sched import (
+    ClusterReport,
+    ClusterResult,
+    ClusterScheduler,
+    JobRecord,
+    SchedulerError,
+    run_cluster,
+    run_cluster_cell,
+)
 
-__all__ = ["ClusterSpec", "rank_to_node", "JobResult", "run_job", "OobBoard"]
+__all__ = [
+    "ClusterSpec", "rank_to_node", "JobResult", "run_job", "OobBoard",
+    "ClusterStack", "build_cluster",
+    "CLUSTER_KERNELS", "JobSpec", "WorkloadSpec", "with_connection",
+    "ClusterReport", "ClusterResult", "ClusterScheduler", "JobRecord",
+    "SchedulerError", "run_cluster", "run_cluster_cell",
+]

@@ -16,9 +16,9 @@ from typing import Any, Callable, Dict, List, Optional
 
 from repro.analysis.sanitizers import Sanitizer, SanitizerConfig, SanitizerReport
 from repro.chaos import FaultInjector, FaultPlan
+from repro.cluster.build import build_cluster
 from repro.cluster.oob import OobBoard
 from repro.cluster.spec import ClusterSpec
-from repro.fabric.network import Network
 from repro.memory.registry import MemoryRegistry
 from repro.metrics.chaos import ChaosReport, collect_chaos
 from repro.metrics.resources import ResourceReport, collect_resources
@@ -30,8 +30,6 @@ from repro.mpi.facade import MpiProcess
 from repro.sim.engine import Engine
 from repro.sim.rng import RngStreams
 from repro.telemetry import Telemetry, TelemetryConfig
-from repro.via.agent import ConnectionAgent
-from repro.via.nic import Nic
 from repro.via.provider import ViConfig, ViaProvider
 
 #: a rank program: generator function taking (mpi, *args)
@@ -147,6 +145,11 @@ def run_job(
     """
     config = config or MpiConfig()
     spec.validate_nprocs(nprocs)
+    if per_rank_args is not None and len(per_rank_args) != nprocs:
+        raise ValueError(
+            f"per_rank_args has {len(per_rank_args)} entries "
+            f"for {nprocs} ranks"
+        )
     if config.connection == "static-cs" and not spec.profile.supports_client_server:
         raise JobError(
             f"profile {spec.profile.name!r} does not support the "
@@ -194,18 +197,11 @@ def run_job(
         )
 
     rng = RngStreams(spec.seed)
-    network = Network(engine, spec.profile.link, name=spec.profile.name)
-    network.telemetry = tel
+    injector = None
     if chaos_active:
-        network.injector = FaultInjector(
-            engine, fault_plan, rng.stream("chaos.fabric"))
-    nics: List[Nic] = []
-    agents: List[ConnectionAgent] = []
-    for node in range(spec.nodes):
-        nic = Nic(engine, node, spec.profile, network)
-        nic.telemetry = tel
-        nics.append(nic)
-        agents.append(ConnectionAgent(engine, nic))
+        injector = FaultInjector(engine, fault_plan, rng.stream("chaos.fabric"))
+    stack = build_cluster(engine, spec, telemetry=tel, injector=injector)
+    network, nics, agents = stack.network, stack.nics, stack.agents
 
     oob = OobBoard(engine, nprocs)
     vi_config = ViConfig(
@@ -275,7 +271,7 @@ def run_job(
             yield from adi.drain()
             yield from oob.progressive_barrier("finalize", adi)
             if rank == 0:
-                resources_box[0] = collect_resources(devices)
+                resources_box[0] = collect_resources(devices, nics)
             yield from oob.progressive_barrier("teardown", adi)
             yield from adi.conn.finalize_phase()
 

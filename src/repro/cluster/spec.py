@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Optional
 
 from repro.via.profiles import CLAN, ViaProfile
 
@@ -35,12 +36,26 @@ class ClusterSpec:
     profile: ViaProfile = field(default=CLAN)
     placement: str = "cyclic"
     seed: int = 0
+    #: administrative per-NIC VI budget (None = unmanaged).  The cluster
+    #: scheduler admits jobs against this; a single job run under a
+    #: quota simply fails fast if it would exceed it.
+    vi_quota: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.nodes < 1 or self.ppn < 1:
             raise ValueError("nodes and ppn must be >= 1")
         if self.placement not in ("cyclic", "block"):
             raise ValueError(f"unknown placement {self.placement!r}")
+        if self.vi_quota is not None and self.vi_quota < 1:
+            raise ValueError("vi_quota must be >= 1 when set")
+        if (self.vi_quota is not None
+                and self.profile.max_vis_per_nic is not None
+                and self.vi_quota > self.profile.max_vis_per_nic):
+            raise ValueError(
+                f"vi_quota {self.vi_quota} exceeds the hardware limit "
+                f"({self.profile.max_vis_per_nic} VIs per NIC on "
+                f"{self.profile.name!r})"
+            )
 
     @property
     def max_procs(self) -> int:

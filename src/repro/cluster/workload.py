@@ -1,0 +1,201 @@
+"""Multi-job workloads: job descriptions and seeded arrival generation.
+
+A cluster workload is a list of :class:`JobSpec` — *what* arrives
+*when*.  Two ways to get one:
+
+* build the list explicitly (reproducible scenario tests), or
+* describe a distribution with :class:`WorkloadSpec` and call
+  :meth:`WorkloadSpec.generate`, which samples arrivals from a named
+  :class:`~repro.sim.rng.RngStreams` stream (``"sched.arrivals"``) so
+  the trace is a pure function of the seed.
+
+Every kernel carries an **analytic VI-demand bound**: the most VIs any
+one process of an ``n``-rank job will ever attach under on-demand
+management (the numbers the paper's Table 1 derives from communication
+graphs).  The scheduler's admission control reserves this bound against
+the per-NIC quota, so a lazily-growing on-demand job can never blow the
+quota mid-run — while a static job must reserve the full ``n-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Sequence, Tuple
+
+from repro.apps import micro
+from repro.mpi.conn import init_vi_demand
+from repro.sim.rng import RngStreams
+
+
+def _collective_vi_demand(n: int) -> int:
+    """Distinct recursive-doubling partners: log2(n) for powers of two;
+    conservative full connectivity otherwise (pre/post phases may add
+    neighbours beyond the doubling set)."""
+    if n <= 1:
+        return 0
+    if n & (n - 1) == 0:
+        return n.bit_length() - 1
+    return n - 1
+
+
+@dataclass(frozen=True)
+class ClusterKernel:
+    """One schedulable program: factory plus its per-process VI bound."""
+
+    name: str
+    #: builds the rank program for an ``n``-process job
+    factory: Callable[[int], Callable]
+    #: most VIs one process attaches under on-demand management
+    vi_demand: Callable[[int], int]
+    min_procs: int = 2
+
+
+#: the workload vocabulary; deliberately small jobs — a cluster scenario
+#: runs dozens of them inside one DES
+CLUSTER_KERNELS: Dict[str, ClusterKernel] = {
+    "ring": ClusterKernel(
+        "ring",
+        lambda n: micro.ring(rounds=3, elements=32),
+        lambda n: min(2, max(0, n - 1)),
+    ),
+    "alltoall": ClusterKernel(
+        "alltoall",
+        lambda n: micro.alltoall_loop(iterations=3, elements_per_peer=2),
+        lambda n: max(0, n - 1),
+    ),
+    "allreduce": ClusterKernel(
+        "allreduce",
+        lambda n: micro.allreduce_latency(iterations=3, elements=4),
+        _collective_vi_demand,
+    ),
+    "barrier": ClusterKernel(
+        "barrier",
+        lambda n: micro.barrier_latency(iterations=5),
+        _collective_vi_demand,
+    ),
+    "pingpong": ClusterKernel(
+        "pingpong",
+        lambda n: micro.pingpong(sizes=(64,), iterations=3, warmup=1),
+        lambda n: 1 if n >= 2 else 0,
+    ),
+}
+
+#: crude per-kernel runtime scale for EASY-backfill estimates, µs per rank
+KERNEL_EST_US_PER_RANK: Dict[str, float] = {
+    "ring": 4_000.0,
+    "alltoall": 12_000.0,
+    "allreduce": 8_000.0,
+    "barrier": 6_000.0,
+    "pingpong": 3_000.0,
+}
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One job of a cluster workload."""
+
+    job_id: int
+    arrival_us: float
+    kernel: str
+    nprocs: int
+    connection: str = "ondemand"
+    #: user-supplied runtime estimate for EASY backfill, µs (never the
+    #: actual runtime — schedulers only see estimates)
+    est_runtime_us: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.kernel not in CLUSTER_KERNELS:
+            raise ValueError(
+                f"unknown cluster kernel {self.kernel!r}; "
+                f"available: {sorted(CLUSTER_KERNELS)}"
+            )
+        kern = CLUSTER_KERNELS[self.kernel]
+        if self.nprocs < kern.min_procs:
+            raise ValueError(
+                f"kernel {self.kernel!r} needs >= {kern.min_procs} "
+                f"processes, got {self.nprocs}"
+            )
+        if self.arrival_us < 0:
+            raise ValueError("arrival_us must be >= 0")
+        if self.est_runtime_us <= 0:
+            raise ValueError("est_runtime_us must be > 0")
+
+    @property
+    def vi_reserve_per_proc(self) -> int:
+        """VIs the scheduler reserves per process of this job: the
+        static MPI_Init demand or the kernel's analytic on-demand bound,
+        whichever binds."""
+        return max(
+            init_vi_demand(self.connection, self.nprocs),
+            CLUSTER_KERNELS[self.kernel].vi_demand(self.nprocs),
+        )
+
+    def program(self):
+        return CLUSTER_KERNELS[self.kernel].factory(self.nprocs)
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A seeded random workload: sample ``generate()`` for the job list.
+
+    All randomness flows through one named stream of
+    :class:`~repro.sim.rng.RngStreams` seeded from ``seed``, drawn in a
+    fixed per-job order (inter-arrival, kernel, size, mechanism) — the
+    trace is byte-reproducible and independent of scheduler policy.
+    """
+
+    njobs: int = 8
+    #: exponential inter-arrival mean, µs
+    mean_interarrival_us: float = 20_000.0
+    kernels: Tuple[str, ...] = ("ring", "allreduce", "alltoall")
+    #: per-job size choices; powers of two keep collective VI bounds tight
+    nprocs_choices: Tuple[int, ...] = (2, 4, 8)
+    connections: Tuple[str, ...] = ("ondemand",)
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.njobs < 1:
+            raise ValueError("njobs must be >= 1")
+        if self.mean_interarrival_us < 0:
+            raise ValueError("mean_interarrival_us must be >= 0")
+        for k in self.kernels:
+            if k not in CLUSTER_KERNELS:
+                raise ValueError(f"unknown cluster kernel {k!r}")
+        if not self.kernels or not self.nprocs_choices or not self.connections:
+            raise ValueError("kernels/nprocs_choices/connections are empty")
+
+    def generate(self) -> Tuple[JobSpec, ...]:
+        """Sample the job list; a pure function of this spec."""
+        arr = RngStreams(self.seed).stream("sched.arrivals")
+        jobs = []
+        t = 0.0
+        for jid in range(self.njobs):
+            t += float(arr.exponential(self.mean_interarrival_us))
+            kernel = self.kernels[int(arr.integers(len(self.kernels)))]
+            nprocs = int(
+                self.nprocs_choices[int(arr.integers(len(self.nprocs_choices)))]
+            )
+            conn = self.connections[int(arr.integers(len(self.connections)))]
+            nprocs = max(nprocs, CLUSTER_KERNELS[kernel].min_procs)
+            jobs.append(
+                JobSpec(
+                    job_id=jid,
+                    arrival_us=round(t, 3),
+                    kernel=kernel,
+                    nprocs=nprocs,
+                    connection=conn,
+                    est_runtime_us=KERNEL_EST_US_PER_RANK[kernel] * nprocs,
+                )
+            )
+        return tuple(jobs)
+
+
+def with_connection(jobs: Sequence[JobSpec], connection: str) -> Tuple[JobSpec, ...]:
+    """The same arrival trace under one forced connection mechanism —
+    the apples-to-apples sweep of the ``repro.bench cluster`` CLI."""
+    out = []
+    for job in jobs:
+        est = (KERNEL_EST_US_PER_RANK[job.kernel] * job.nprocs
+               if job.kernel in KERNEL_EST_US_PER_RANK else job.est_runtime_us)
+        out.append(replace(job, connection=connection, est_runtime_us=est))
+    return tuple(out)

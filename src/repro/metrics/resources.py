@@ -11,10 +11,11 @@ the live objects after a job ran.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.mpi.adi import AbstractDevice
+    from repro.via.nic import Nic
 
 
 @dataclass
@@ -50,6 +51,10 @@ class ResourceReport:
     """Job-wide aggregation (the paper averages over processes)."""
 
     per_process: List[ProcessResources] = field(default_factory=list)
+    #: node id -> most VIs ever attached to that node's NIC at once.
+    #: The per-NIC footprint the paper's Tables 1–2 argue about; the
+    #: cluster scheduler's quota bound is checked against exactly this.
+    nic_vi_high_water: Dict[int, int] = field(default_factory=dict)
 
     @property
     def nprocs(self) -> int:
@@ -120,14 +125,26 @@ class ResourceReport:
             self.total_pinned_peak_bytes)
         registry.gauge("resources.total_unused_pinned_bytes").set(
             self.total_unused_pinned_bytes)
+        # same metric names whether the report came from a single job or
+        # from a cluster run, so dashboards need only one query
+        for node in sorted(self.nic_vi_high_water):
+            registry.gauge(f"nic.n{node}.vi_high_water").set(
+                self.nic_vi_high_water[node])
 
 
-def collect_resources(devices: Dict[int, "AbstractDevice"]) -> ResourceReport:
+def collect_resources(
+    devices: Dict[int, "AbstractDevice"],
+    nics: Optional[Iterable["Nic"]] = None,
+) -> ResourceReport:
     """Snapshot resource usage from the per-rank ADI devices.
 
     Call *before* MPI_Finalize teardown so live VIs are still attached.
+    With ``nics`` given, per-NIC VI high-water marks are included.
     """
     report = ResourceReport()
+    if nics is not None:
+        for nic in nics:
+            report.nic_vi_high_water[nic.node_id] = nic.vi_high_water
     for rank in sorted(devices):
         adi = devices[rank]
         provider = adi.provider

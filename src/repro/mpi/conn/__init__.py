@@ -20,15 +20,28 @@ from repro.mpi.conn.static_p2p import StaticPeerToPeerConnectionManager
 from repro.mpi.conn.static_cs import StaticClientServerConnectionManager
 
 
+_MANAGERS = {
+    "ondemand": OnDemandConnectionManager,
+    "static-p2p": StaticPeerToPeerConnectionManager,
+    "static-cs": StaticClientServerConnectionManager,
+}
+
+
 def make_connection_manager(name: str, adi) -> BaseConnectionManager:
     """Factory keyed by :class:`~repro.mpi.config.MpiConfig` names."""
-    if name == "ondemand":
-        return OnDemandConnectionManager(adi)
-    if name == "static-p2p":
-        return StaticPeerToPeerConnectionManager(adi)
-    if name == "static-cs":
-        return StaticClientServerConnectionManager(adi)
-    raise ValueError(f"unknown connection manager {name!r}")
+    try:
+        return _MANAGERS[name](adi)
+    except KeyError:
+        raise ValueError(f"unknown connection manager {name!r}") from None
+
+
+def init_vi_demand(name: str, nprocs: int) -> int:
+    """Per-process MPI_Init VI demand of mechanism ``name`` in an
+    ``nprocs``-rank job — the scheduler's admission-control charge."""
+    try:
+        return _MANAGERS[name].init_vi_demand(nprocs)
+    except KeyError:
+        raise ValueError(f"unknown connection manager {name!r}") from None
 
 
 __all__ = [
@@ -37,4 +50,5 @@ __all__ = [
     "StaticPeerToPeerConnectionManager",
     "StaticClientServerConnectionManager",
     "make_connection_manager",
+    "init_vi_demand",
 ]

@@ -33,6 +33,18 @@ class BaseConnectionManager:
 
     name = "base"
 
+    @classmethod
+    def init_vi_demand(cls, nprocs: int) -> int:
+        """VIs each process attaches to its NIC during ``MPI_Init``.
+
+        The cluster scheduler's admission control charges this many VIs
+        per co-resident process against the node's quota *before* the
+        job starts — a static job that cannot fit must wait, exactly the
+        pressure the paper's Tables 1–2 quantify.  A classmethod so
+        admission can be decided without instantiating the stack.
+        """
+        return 0
+
     def __init__(self, adi: "AbstractDevice"):
         self.adi = adi
         #: channels whose peer-to-peer request is in flight

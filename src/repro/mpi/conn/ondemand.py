@@ -33,6 +33,11 @@ from repro.via.messages import DisconnectReply, DisconnectRequest
 class OnDemandConnectionManager(BaseConnectionManager):
     name = "ondemand"
 
+    @classmethod
+    def init_vi_demand(cls, nprocs: int) -> int:
+        """MPI_Init creates nothing; VIs appear lazily per actual peer."""
+        return 0
+
     def __init__(self, adi):
         super().__init__(adi)
         self.evictions = 0

@@ -19,6 +19,11 @@ from repro.mpi.constants import ANY_SOURCE, MpiError
 class StaticClientServerConnectionManager(BaseConnectionManager):
     name = "static-cs"
 
+    @classmethod
+    def init_vi_demand(cls, nprocs: int) -> int:
+        """Fully connected at MPI_Init: one VI per peer."""
+        return max(0, nprocs - 1)
+
     def init_phase(self):
         adi = self.adi
         provider = adi.provider

@@ -17,6 +17,11 @@ from repro.mpi.constants import ANY_SOURCE, ConnectionFailed, MpiError
 class StaticPeerToPeerConnectionManager(BaseConnectionManager):
     name = "static-p2p"
 
+    @classmethod
+    def init_vi_demand(cls, nprocs: int) -> int:
+        """Fully connected at MPI_Init: one VI per peer."""
+        return max(0, nprocs - 1)
+
     def init_phase(self):
         """Create all VIs, issue all requests, wait for full connectivity."""
         adi = self.adi

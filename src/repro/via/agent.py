@@ -70,8 +70,10 @@ class ConnectionAgent:
         #: same grant again instead of deadlocking half-established.
         self._grants_sent: Dict[tuple, tuple] = {}
 
-        # client/server state: queued requests per listening server rank
-        self._cs_queues: Dict[int, Deque[CsConnRequest]] = {}
+        # client/server state: queued requests per listening server,
+        # keyed by (job id, server rank) — co-scheduled jobs reuse rank
+        # numbers, so rank alone is ambiguous on a shared node
+        self._cs_queues: Dict[tuple, Deque[CsConnRequest]] = {}
         self._cs_clients: Dict[Discriminator, VI] = {}
 
         #: every provider on this node (for CS-request wake-ups that can
@@ -245,19 +247,20 @@ class ConnectionAgent:
         # hand the message to the right local process; decisions about
         # quiescence belong to the MPI layer and happen at its next
         # device check (weak progress)
+        job_id = message.discriminator[0]
         for provider in self._local_providers:
-            if provider.rank == message.dst_rank:
+            if provider.job_id == job_id and provider.rank == message.dst_rank:
                 provider.pending_disconnects.append(message)
                 provider.activity.fire()
                 return
         raise ViaConnectionError(
-            f"disconnect for unknown rank {message.dst_rank} on node "
-            f"{self.nic.node_id}")
+            f"disconnect for unknown job {job_id} rank {message.dst_rank} "
+            f"on node {self.nic.node_id}")
 
     # -- client/server model -------------------------------------------------------
-    def listen(self, server_rank: int) -> None:
+    def listen(self, server_rank: int, job_id: int = 0) -> None:
         """Register a server rank willing to accept connections."""
-        self._cs_queues.setdefault(server_rank, deque())
+        self._cs_queues.setdefault((job_id, server_rank), deque())
 
     def client_request(
         self, vi: VI, server_node: int, server_rank: int,
@@ -282,11 +285,13 @@ class ConnectionAgent:
         self._enqueue(job)
 
     def _on_cs_request(self, req: CsConnRequest) -> None:
-        queue = self._cs_queues.get(req.server_rank)
+        job_id = req.discriminator[0]
+        queue = self._cs_queues.get((job_id, req.server_rank))
         if queue is None:
             raise ViaConnectionError(
-                f"client/server request for rank {req.server_rank}, "
-                f"which is not listening on node {self.nic.node_id}"
+                f"client/server request for job {job_id} rank "
+                f"{req.server_rank}, which is not listening on node "
+                f"{self.nic.node_id}"
             )
         queue.append(req)
         # wake any process polling VipConnectWait on this node
@@ -294,7 +299,8 @@ class ConnectionAgent:
             provider.activity.fire()
 
     def poll_cs_request(
-        self, server_rank: int, from_rank: Optional[int] = None
+        self, server_rank: int, from_rank: Optional[int] = None,
+        job_id: int = 0,
     ) -> Optional[CsConnRequest]:
         """Server-side VipConnectWait poll.
 
@@ -303,7 +309,7 @@ class ConnectionAgent:
         order "regardless of the arrival order of connection requests"
         (paper §5.6); others stay queued.
         """
-        queue = self._cs_queues.get(server_rank)
+        queue = self._cs_queues.get((job_id, server_rank))
         if not queue:
             return None
         if from_rank is None:

@@ -85,6 +85,14 @@ class Nic:
         #: attach_vi/detach_vi and VI state-setter notifications so the
         #: per-service lookup is O(1) (it used to re-scan every VI).
         self._active_vis = 0
+        #: administrative per-NIC VI budget (cluster scheduler admission
+        #: control), on top of the hardware ``profile.max_vis_per_nic``.
+        #: None = unmanaged (the single-job default).
+        self.vi_quota: Optional[int] = None
+        #: most VIs ever attached at once — the per-NIC resource
+        #: high-water mark the paper's Tables 1–2 argue about, reported
+        #: identically by single-job and cluster runs
+        self.vi_high_water = 0
 
         # serial send engine
         self._tx_queue: Deque[VI] = deque()
@@ -137,9 +145,17 @@ class Nic:
                 f"NIC on node {self.node_id} out of VI resources "
                 f"(limit {limit}); the paper's scalability point 2"
             )
+        if self.vi_quota is not None and len(self._vis) >= self.vi_quota:
+            raise ViaProtocolError(
+                f"NIC on node {self.node_id} past its VI quota "
+                f"({self.vi_quota}); scheduler admission control should "
+                "have prevented this job from starting"
+            )
         self._vis[vi.vi_id] = vi
         self._owners[vi.vi_id] = owner
         vi.nic = self
+        if len(self._vis) > self.vi_high_water:
+            self.vi_high_water = len(self._vis)
         if vi.state in ACTIVE_VI_STATES:
             self._active_vis += 1
 
@@ -164,6 +180,14 @@ class Nic:
     @property
     def attached_vi_count(self) -> int:
         return len(self._vis)
+
+    @property
+    def vi_quota_headroom(self) -> Optional[int]:
+        """VIs that can still be attached under the administrative quota
+        (None when the NIC is unmanaged)."""
+        if self.vi_quota is None:
+            return None
+        return self.vi_quota - len(self._vis)
 
     @property
     def active_vi_count(self) -> int:

@@ -304,13 +304,13 @@ class ViaProvider:
 
     def listen(self) -> None:
         """Register this rank as a client/server-model server."""
-        self.agent.listen(self.rank)
+        self.agent.listen(self.rank, self.job_id)
 
     def poll_connect_wait(
         self, from_rank: Optional[int] = None
     ) -> Tuple[Optional[CsConnRequest], float]:
         """One VipConnectWait poll; returns (request_or_None, host_cost)."""
-        req = self.agent.poll_cs_request(self.rank, from_rank)
+        req = self.agent.poll_cs_request(self.rank, from_rank, self.job_id)
         return req, self.profile.connection.host_wait_poll_us
 
     def connect_accept(self, req: CsConnRequest, vi: VI) -> float:

@@ -141,6 +141,41 @@ class TestJobResult:
         with pytest.raises(JobError, match="deadlock"):
             run_job(ClusterSpec(nodes=2, ppn=1), 2, stuck, MpiConfig())
 
+    def test_summary_digest(self):
+        res = self._run()
+        text = res.summary()
+        assert "4 ranks (ondemand)" in text
+        assert f"sim time {res.total_time_us:.1f}us" in text
+        assert f"{res.resources.total_connections} connections" in text
+        # no chaos layer attached -> zeros, not crashes
+        assert "0 faults | 0 drops" in text
+        assert "0 connect retries" in text
+        assert "\n" not in text
+
+    def test_oversubscription_rejected(self):
+        def prog(mpi):
+            yield from mpi.barrier()
+
+        with pytest.raises(ValueError, match="do not fit"):
+            run_job(ClusterSpec(nodes=2, ppn=2), 5, prog, MpiConfig())
+
+    def test_per_rank_args_length_checked(self):
+        def prog(mpi, x):
+            yield from mpi.barrier()
+            return x
+
+        with pytest.raises(ValueError, match="per_rank_args"):
+            run_job(ClusterSpec(nodes=2, ppn=1), 2, prog, MpiConfig(),
+                    per_rank_args=[(1,)])
+
+    def test_kernel_cell_rejects_unknown_kernel(self):
+        from repro.cluster.job import run_kernel_cell
+
+        with pytest.raises(ValueError, match="unknown kernel"):
+            run_kernel_cell(kernel="nope", npb_class="S", nprocs=2,
+                            nodes=2, ppn=1, profile="clan",
+                            connection="ondemand", seed=0)
+
     def test_single_process_job(self):
         def prog(mpi):
             out = np.empty(1)

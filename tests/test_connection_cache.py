@@ -39,9 +39,9 @@ def capture_devices():
     captured = {}
     orig = J.collect_resources
 
-    def spy(devices):
+    def spy(devices, *args, **kwargs):
         captured.update(devices)
-        return orig(devices)
+        return orig(devices, *args, **kwargs)
 
     J.collect_resources = spy
     return captured, lambda: setattr(J, "collect_resources", orig)

@@ -91,9 +91,9 @@ class TestWindowGrowth:
 
         orig = J.collect_resources
 
-        def spy(devices):
+        def spy(devices, *args, **kwargs):
             captured["devices"] = dict(devices)
-            return orig(devices)
+            return orig(devices, *args, **kwargs)
 
         J.collect_resources = spy
         try:
@@ -122,9 +122,9 @@ class TestWindowGrowth:
 
         orig = J.collect_resources
 
-        def spy(devices):
+        def spy(devices, *args, **kwargs):
             captured["devices"] = dict(devices)
-            return orig(devices)
+            return orig(devices, *args, **kwargs)
 
         J.collect_resources = spy
         try:
