@@ -59,6 +59,8 @@ def cell_config(args: argparse.Namespace, connection: str) -> Dict[str, Any]:
         "mean_interarrival_us": args.mean_arrival,
         "kernels": list(args.kernels),
         "nprocs_choices": list(args.nprocs_choices),
+        "shards": args.shards,
+        "queue": args.queue,
     }
 
 
@@ -76,6 +78,8 @@ def _run_cell(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         kernels=tuple(cfg["kernels"]),
         nprocs_choices=tuple(cfg["nprocs_choices"]),
         seed=params["seed"],
+        shards=cfg.get("shards", 1),
+        queue=cfg.get("queue", "heap"),
     )
     report["wall_s"] = round(time.perf_counter() - started, 6)  # repro: allow[REPRO001]
     return params["key"], report
@@ -156,6 +160,12 @@ def main(argv=None) -> int:
                         default=",".join(ALL_CONNECTIONS),
                         help="mechanisms to sweep (comma-separated)")
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=1,
+                        help="event-queue shards (host-CPU knob; the "
+                             "report is byte-identical for any value)")
+    parser.add_argument("--queue", choices=("heap", "calendar"),
+                        default="heap",
+                        help="event-queue structure (default heap)")
     parser.add_argument("--workers", type=int, default=1,
                         help="parallel worker processes (default 1)")
     parser.add_argument("--name", default="contention",
@@ -178,6 +188,10 @@ def main(argv=None) -> int:
         parser.error(f"unknown connections: {bad}")
     if args.workers < 1:
         parser.error("--workers must be >= 1")
+    if args.shards < 1:
+        parser.error("--shards must be >= 1")
+    # a shard plan cannot exceed the node count
+    args.shards = min(args.shards, args.nodes)
 
     profile = profile_by_name(args.profile)
     connections = []

@@ -1,0 +1,215 @@
+"""``python -m repro.bench perf`` — the engine's tracked perf trajectory.
+
+Measures events/sec of the DES core in its queue/shard configurations
+on one fixed pod scenario and appends a per-commit entry to
+``BENCH_engine.json``::
+
+    python -m repro.bench perf                    # large scenario
+    python -m repro.bench perf --scale smoke      # CI-sized
+    python -m repro.bench perf --append --label pr7
+    python -m repro.bench perf --fingerprint cg --shards 2 --out fp.txt
+
+Every configuration simulates the *identical* workload — the command
+hard-fails if their event counts diverge, a free differential check —
+so the entries differ only in host CPU time.  The deterministic fields
+(``total_events``, the scenario) are byte-stable across runs and hosts;
+``wall_s``/``events_per_sec`` are honest host measurements and are the
+one intentionally nondeterministic part of the artifact.
+
+``--fingerprint`` is the CI face of the differential suite: it writes
+one kernel cell's trace fingerprint to a file, so a shell ``cmp`` of
+the 1-shard and N-shard outputs proves observational equality without
+a Python test harness in the loop.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.sim.shard import PodScenario, run_pod_cell, run_pods
+
+ARTIFACT = "BENCH_engine.json"
+
+#: the measured configurations, in presentation order; ``workers=None``
+#: means "the --workers value" (the only multi-process configuration)
+CONFIGS = (
+    ("heap", {"queue": "heap", "shards_per_pod": 1, "workers": 1}),
+    ("calendar", {"queue": "calendar", "shards_per_pod": 1, "workers": 1}),
+    ("sharded", {"queue": "heap", "shards_per_pod": 0, "workers": 1}),
+    ("pods", {"queue": "heap", "shards_per_pod": 1, "workers": None}),
+)
+
+SCALES: Dict[str, PodScenario] = {
+    # smoke: seconds on one core — CI artifact + schema tests
+    "smoke": PodScenario(pods=2, njobs_per_pod=4, nodes_per_pod=4, ppn=2,
+                         mean_interarrival_us=800.0,
+                         kernels=("ring", "allreduce"),
+                         nprocs_choices=(4,), seed=0),
+    # large: the cluster-scale cell the ≥2x speedup floor is pinned on
+    # (vi_quota sized so the all-to-all np=8 jobs are admissible)
+    "large": PodScenario(pods=4, njobs_per_pod=24, nodes_per_pod=4, ppn=2,
+                         vi_quota=16, mean_interarrival_us=600.0,
+                         kernels=("ring", "allreduce", "alltoall"),
+                         nprocs_choices=(4, 8), seed=0),
+}
+
+
+def _wall() -> float:
+    """Host wall-clock, measured *around* the simulator only."""
+    return time.perf_counter()  # repro: allow[REPRO001]
+
+
+def measure(scenario: PodScenario, *, workers: int) -> Dict[str, Any]:
+    """Run every engine configuration on ``scenario``; return the entry
+    body (no label/metadata — the caller adds those)."""
+    configs: Dict[str, Any] = {}
+    baseline_eps: Optional[float] = None
+    total_events: Optional[int] = None
+    # warm-up: one pod outside the timed region, so the first measured
+    # configuration does not pay the import/allocator cold start
+    run_pod_cell(scenario.pod_params(0))
+    for name, cfg in CONFIGS:
+        shards = cfg["shards_per_pod"] or min(4, scenario.nodes_per_pod)
+        nworkers = cfg["workers"] or workers
+        started = _wall()
+        result = run_pods(
+            scenario, workers=nworkers, queue=cfg["queue"],
+            shards_per_pod=shards,
+        )
+        wall_s = _wall() - started
+        events = result.total_events
+        if total_events is None:
+            total_events = events
+        elif events != total_events:
+            raise RuntimeError(
+                f"engine configurations diverged: {name!r} processed "
+                f"{events} events, baseline processed {total_events} — "
+                "the queue swap changed observable behaviour"
+            )
+        eps = events / wall_s
+        if baseline_eps is None:
+            baseline_eps = eps
+        configs[name] = {
+            "queue": cfg["queue"],
+            "shards_per_pod": shards,
+            "workers": nworkers,
+            "events": events,
+            "wall_s": round(wall_s, 4),
+            "events_per_sec": round(eps, 1),
+            "speedup_vs_heap": round(eps / baseline_eps, 3),
+        }
+    return {
+        "scenario": scenario.to_dict(),
+        "total_events": total_events,
+        "configs": configs,
+    }
+
+
+def load_trajectory(path: Path) -> Dict[str, Any]:
+    if path.is_file():
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    return {"schema": 1, "bench": "engine", "trajectory": []}
+
+
+def write_trajectory(path: Path, doc: Dict[str, Any]) -> None:
+    text = json.dumps(doc, sort_keys=True, indent=2,
+                      separators=(",", ": ")) + "\n"
+    path.write_text(text, encoding="utf-8")
+
+
+def run_fingerprint(args: argparse.Namespace) -> int:
+    """Write one kernel cell's fingerprint (CI's ``cmp`` differential)."""
+    from repro.cluster.job import run_kernel_cell
+
+    metrics = run_kernel_cell(
+        kernel=args.fingerprint, npb_class=args.npb_class, nprocs=args.np,
+        nodes=args.nodes, ppn=args.ppn, profile=args.profile,
+        connection=args.connection, seed=args.seed,
+        record_fingerprint=True, shards=args.shards, queue=args.queue,
+        enforce_lookahead=args.shards > 1,
+    )
+    line = f"{metrics['fingerprint']} {metrics['events']}\n"
+    if args.out:
+        Path(args.out).write_text(line, encoding="utf-8")
+        print(f"wrote {args.out}: {line.strip()}")
+    else:
+        sys.stdout.write(line)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench perf",
+        description="Measure engine events/sec per queue/shard "
+                    f"configuration and append to {ARTIFACT}.",
+    )
+    parser.add_argument("--scale", choices=sorted(SCALES), default="large")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="worker processes for the pod configuration "
+                             "(default: min(pods, host cpus))")
+    parser.add_argument("--label", default="dev",
+                        help="trajectory entry label (e.g. a PR number)")
+    parser.add_argument("--out-dir", default=".",
+                        help=f"directory of {ARTIFACT} (default .)")
+    parser.add_argument("--append", action="store_true",
+                        help="append to an existing trajectory instead of "
+                             "rewriting it with this one entry")
+    parser.add_argument("--fingerprint", metavar="KERNEL", default=None,
+                        help="fingerprint mode: run one kernel cell and "
+                             "write '<sha256> <events>' (for CI cmp)")
+    parser.add_argument("--connection", default="ondemand")
+    parser.add_argument("--np", type=int, default=4)
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--ppn", type=int, default=1)
+    parser.add_argument("--cls", dest="npb_class", default="S")
+    parser.add_argument("--profile", choices=("clan", "berkeley"),
+                        default="clan")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--shards", type=int, default=1)
+    parser.add_argument("--queue", choices=("heap", "calendar"),
+                        default="heap")
+    parser.add_argument("--out", default=None,
+                        help="fingerprint mode: output file")
+    args = parser.parse_args(argv)
+
+    if args.fingerprint is not None:
+        return run_fingerprint(args)
+
+    scenario = SCALES[args.scale]
+    workers = args.workers or min(scenario.pods, os.cpu_count() or 1)
+    print(f"measuring {len(CONFIGS)} engine configurations on the "
+          f"{args.scale!r} scenario ({scenario.pods} pods, "
+          f"{workers} workers) ...", file=sys.stderr)
+    body = measure(scenario, workers=workers)
+    entry = {
+        "label": args.label,
+        "scale": args.scale,
+        "host_cpus": os.cpu_count() or 1,
+        **body,
+    }
+
+    path = Path(args.out_dir) / ARTIFACT
+    doc = load_trajectory(path) if args.append else {
+        "schema": 1, "bench": "engine", "trajectory": []}
+    doc["trajectory"].append(entry)
+    Path(args.out_dir).mkdir(parents=True, exist_ok=True)
+    write_trajectory(path, doc)
+
+    for name, cfg in entry["configs"].items():
+        print(f"  {name:<10} {cfg['events_per_sec']:>12,.0f} ev/s  "
+              f"x{cfg['speedup_vs_heap']:.2f}  "
+              f"({cfg['events']} events, {cfg['wall_s']:.2f}s, "
+              f"workers={cfg['workers']}, shards={cfg['shards_per_pod']})")
+    print(f"wrote {path} ({len(doc['trajectory'])} entries)")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -46,6 +46,10 @@ class SweepCell:
     profile: str
     connection: str
     seed: int
+    #: engine configuration (host-CPU only: simulated results are
+    #: identical for every value, which the differential suite pins)
+    shards: int = 1
+    queue: str = "heap"
 
     def config_dict(self) -> Dict[str, Any]:
         """JSON-able configuration (everything but the seed, which the
@@ -60,9 +64,12 @@ class SweepCell:
 
     @property
     def label(self) -> str:
+        engine = ""
+        if self.shards != 1 or self.queue != "heap":
+            engine = f"/shards={self.shards}.{self.queue}"
         return (
             f"{self.kernel}.{self.npb_class}/np={self.nprocs}/"
-            f"{self.connection}/{self.profile}/seed={self.seed}"
+            f"{self.connection}/{self.profile}/seed={self.seed}{engine}"
         )
 
 
@@ -79,11 +86,21 @@ class SweepMatrix:
     nodes: int = 8
     ppn: int = 1
     profile: str = "clan"
+    #: engine configuration applied to every cell (pure host-CPU knob)
+    shards: int = 1
+    queue: str = "heap"
 
     def cells(self) -> List[SweepCell]:
         """Expand the grid in deterministic order, skipping combinations
         the simulated hardware cannot run (mirrors the paper's testbed
         limits rather than failing mid-sweep)."""
+        if self.queue not in ("heap", "calendar"):
+            raise ValueError(f"unknown queue {self.queue!r}")
+        if self.shards < 1:
+            raise ValueError("shards must be >= 1")
+        # a shard plan cannot have more shards than nodes; clamp rather
+        # than fail so one --shards flag fits every matrix shape
+        shards = min(self.shards, self.nodes)
         out: List[SweepCell] = []
         for kernel in self.kernels:
             for np_ in self.nprocs:
@@ -100,7 +117,7 @@ class SweepMatrix:
                                 kernel=kernel, npb_class=self.npb_class,
                                 nprocs=np_, nodes=self.nodes, ppn=self.ppn,
                                 profile=self.profile, connection=conn,
-                                seed=seed,
+                                seed=seed, shards=shards, queue=self.queue,
                             )
                         )
         return out
@@ -142,7 +159,8 @@ def _run_cell_worker(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         kernel=params["kernel"], npb_class=params["npb_class"],
         nprocs=params["nprocs"], nodes=params["nodes"], ppn=params["ppn"],
         profile=params["profile"], connection=params["connection"],
-        seed=params["seed"],
+        seed=params["seed"], shards=params.get("shards", 1),
+        queue=params.get("queue", "heap"),
     )
     wall_s = time.perf_counter() - started  # repro: allow[REPRO001]
     metrics["wall_s"] = round(wall_s, 6)

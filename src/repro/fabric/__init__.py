@@ -17,8 +17,14 @@ of a declared size between ports.  All VIA semantics (descriptors,
 doorbells, connections) live in :mod:`repro.via`.
 """
 
-from repro.fabric.link import LinkParams, Port
+from repro.fabric.link import LinkParams, Port, conservative_lookahead_us
 from repro.fabric.packet import Packet
 from repro.fabric.network import Network
 
-__all__ = ["LinkParams", "Port", "Packet", "Network"]
+__all__ = [
+    "LinkParams",
+    "Port",
+    "Packet",
+    "Network",
+    "conservative_lookahead_us",
+]

@@ -1,20 +1,28 @@
-"""Event heap and simulation clock.
+"""Event queue and simulation clock.
 
-The engine is a classic calendar-queue DES core: a binary heap of
-``(time, seq, event)`` triples.  :class:`Event` is a one-shot completion
-token; processes (see :mod:`repro.sim.process`) subscribe to events by
-yielding them.
+The engine is a classic DES core: pending events live in an
+:class:`EventQueue` ordered by ``(time, seq)`` triples — a binary heap
+(:class:`HeapEventQueue`, the default), a calendar queue
+(:class:`~repro.sim.queues.CalendarQueue`) or a sharded queue
+(:class:`~repro.sim.shard.ShardedEventQueue`).  :class:`Event` is a
+one-shot completion token; processes (see :mod:`repro.sim.process`)
+subscribe to events by yielding them.
 
 Times are floats in **microseconds**.  The engine never invents time:
 every advance comes from an explicit :meth:`Engine.schedule` /
 :meth:`Engine.timeout` delay, so all latency modelling lives in the
 higher layers where it can be documented and calibrated.
+
+Determinism contract: every queue implementation must dequeue in
+strictly increasing ``(time, seq)`` order — the global total order the
+golden-trace fingerprints pin down.  Swapping the queue therefore never
+changes observable simulation behaviour, only host CPU time.
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Optional, Tuple
 
 
 class SimulationError(RuntimeError):
@@ -52,6 +60,82 @@ class Interrupt(Exception):
         self.cause = cause
 
 
+class EventQueue:
+    """Protocol for the engine's pending-event structure.
+
+    Implementations hold ``(when, seq, event)`` triples and must
+    dequeue them in increasing ``(when, seq)`` order — ``seq`` is the
+    engine's global monotonic sequence number, so this is a *total*
+    order and any two conforming queues process identical schedules
+    identically (the differential test suite enforces this).
+
+    The engine guarantees pushes are never in the past relative to the
+    last pop (:class:`NegativeDelayError` rejects them up front), which
+    lets implementations exploit monotonicity (the calendar queue does).
+    """
+
+    __slots__ = ()
+
+    def bind(self, engine: "Engine") -> None:
+        """Called once by :class:`Engine.__init__`; queues that need
+        engine context (e.g. the sharded queue's cross-shard
+        accounting) grab it here.  Default: nothing."""
+
+    def push(self, when: float, seq: int, event: "Event") -> None:
+        raise NotImplementedError
+
+    def pop(self) -> Tuple[float, int, "Event"]:
+        """Remove and return the least ``(when, seq, event)`` triple.
+
+        Raises :class:`IndexError` when empty (callers check first)."""
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        """The least ``(when, seq)`` key, or None when empty."""
+        raise NotImplementedError
+
+    def peek_time(self) -> float:
+        """Time of the next event, or ``inf`` when empty."""
+        head = self.peek()
+        return head[0] if head is not None else float("inf")
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+
+class HeapEventQueue(EventQueue):
+    """The default queue: one binary heap of ``(when, seq, event)``.
+
+    The engine's hot loop bypasses these methods and works on
+    ``_heap`` directly (see :meth:`Engine.run`); they exist so the
+    heap is a first-class :class:`EventQueue` for oracle tests and
+    for the per-shard sub-queues of the sharded queue.
+    """
+
+    __slots__ = ("_heap",)
+
+    def __init__(self) -> None:
+        self._heap: list = []
+
+    def push(self, when: float, seq: int, event: "Event") -> None:
+        heapq.heappush(self._heap, (when, seq, event))
+
+    def pop(self) -> Tuple[float, int, "Event"]:
+        return heapq.heappop(self._heap)
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        if not self._heap:
+            return None
+        head = self._heap[0]
+        return (head[0], head[1])
+
+    def peek_time(self) -> float:
+        return self._heap[0][0] if self._heap else float("inf")
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+
 class Event:
     """A one-shot occurrence in simulated time.
 
@@ -65,7 +149,8 @@ class Event:
     :class:`SimulationError`.
     """
 
-    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "_processed", "name")
+    __slots__ = ("engine", "callbacks", "_value", "_ok", "_triggered", "_processed",
+                 "name", "shard")
 
     PENDING = object()
 
@@ -77,6 +162,9 @@ class Event:
         self._triggered = False
         self._processed = False
         self.name = name
+        # events inherit the shard of the context that created them;
+        # always 0 on an unsharded engine (current_shard never moves)
+        self.shard = engine.current_shard
 
     # -- state inspection ------------------------------------------------
     @property
@@ -146,7 +234,7 @@ class Event:
 
 
 class Engine:
-    """The simulation clock and event heap.
+    """The simulation clock and event queue.
 
     Typical use::
 
@@ -154,17 +242,50 @@ class Engine:
         eng.process(my_generator_fn(eng))
         eng.run()
 
-    :meth:`run` executes until the heap drains or ``until`` is reached.
+    :meth:`run` executes until the queue drains or ``until`` is reached.
+
+    ``queue`` swaps the pending-event structure (default
+    :class:`HeapEventQueue`); any conforming :class:`EventQueue`
+    produces the identical event order, so this is a pure host-CPU
+    knob.  ``current_shard``/``shard_map`` exist for the sharded queue
+    (:mod:`repro.sim.shard`): every :class:`Event` is tagged with the
+    shard of the context that created it, and the generic run loop
+    keeps ``current_shard`` pointing at the shard of the event being
+    processed.  On an unsharded engine both stay at their defaults and
+    cost nothing.
     """
 
-    def __init__(self, *, trace: Optional["TraceHook"] = None):
+    #: shard of the execution context (callback) currently running;
+    #: class attribute so Event.__init__ can read it before __init__
+    #: finishes wiring the instance
+    current_shard: int = 0
+
+    def __init__(self, *, trace: Optional["TraceHook"] = None,
+                 queue: Optional[EventQueue] = None):
         self.now: float = 0.0
-        self._heap: list[tuple[float, int, Event]] = []
+        self._queue: EventQueue = HeapEventQueue() if queue is None else queue
+        # hot-path alias: the raw heap list when (and only when) the
+        # default queue is in use — run/timeout/schedule then inline
+        # heappush/heappop exactly as before the queue protocol existed
+        self._heap: Optional[list] = (
+            self._queue._heap if type(self._queue) is HeapEventQueue else None
+        )
         self._seq = 0
         self._running = False
         self.trace = trace
+        self.current_shard = 0
+        #: node-id -> shard-id map installed by make_engine(shards>1);
+        #: the fabric uses it to re-tag deliveries to the destination
+        #: node's shard.  None on an unsharded engine.
+        self.shard_map: Optional[Callable[[int], int]] = None
+        self._queue.bind(self)
         #: number of events processed so far (diagnostics / determinism checks)
         self.events_processed = 0
+
+    @property
+    def queue(self) -> EventQueue:
+        """The pending-event structure (telemetry reads its stats)."""
+        return self._queue
 
     # -- event construction ----------------------------------------------
     def event(self, name: str = "") -> Event:
@@ -187,7 +308,11 @@ class Engine:
         ev._ok = True
         ev._value = value
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, (self.now + delay, self._seq, ev))
+        else:
+            self._queue.push(self.now + delay, self._seq, ev)
         return ev
 
     def schedule(self, delay: float, fn: Callable[[], None]) -> Event:
@@ -203,7 +328,11 @@ class Engine:
         ev._value = None
         ev.callbacks.append(lambda _ev: fn())
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, ev))
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, (self.now + delay, self._seq, ev))
+        else:
+            self._queue.push(self.now + delay, self._seq, ev)
         return ev
 
     def process(self, generator) -> "Process":
@@ -212,26 +341,40 @@ class Engine:
 
         return Process(self, generator)
 
-    # -- heap internals ----------------------------------------------------
+    # -- queue internals ---------------------------------------------------
     def _push(self, delay: float, event: Event) -> None:
         if delay < 0:
             raise NegativeDelayError(delay, "_push")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        heap = self._heap
+        if heap is not None:
+            heapq.heappush(heap, (self.now + delay, self._seq, event))
+        else:
+            self._queue.push(self.now + delay, self._seq, event)
 
     # -- execution ---------------------------------------------------------
     def peek(self) -> float:
-        """Time of the next event, or ``inf`` if the heap is empty."""
-        return self._heap[0][0] if self._heap else float("inf")
+        """Time of the next event, or ``inf`` if the queue is empty."""
+        heap = self._heap
+        if heap is not None:
+            return heap[0][0] if heap else float("inf")
+        return self._queue.peek_time()
 
     def step(self) -> None:
         """Process exactly one event."""
-        if not self._heap:
-            raise SimulationError("step() on an empty event heap")
-        t, _seq, ev = heapq.heappop(self._heap)
+        heap = self._heap
+        if heap is not None:
+            if not heap:
+                raise SimulationError("step() on an empty event heap")
+            t, _seq, ev = heapq.heappop(heap)
+        else:
+            if not len(self._queue):
+                raise SimulationError("step() on an empty event heap")
+            t, _seq, ev = self._queue.pop()
         if t < self.now:  # pragma: no cover - guarded by _push
             raise SimulationError("time went backwards")
         self.now = t
+        self.current_shard = ev.shard
         ev._processed = True
         self.events_processed += 1
         if self.trace is not None:
@@ -241,7 +384,7 @@ class Engine:
             fn(ev)
 
     def run(self, until: Optional[float] = None) -> float:
-        """Run until the heap drains (or the clock passes ``until``).
+        """Run until the queue drains (or the clock passes ``until``).
 
         Returns the final simulated time.
 
@@ -249,6 +392,9 @@ class Engine:
         same order as repeated :meth:`step` calls, but keeps the heap,
         ``heappop`` and the event counter in locals, and hoists the
         trace-hook and ``until`` checks out of the per-event path.
+        With a non-default :class:`EventQueue` a generic loop drives
+        the protocol methods instead (same order by the determinism
+        contract) and additionally maintains ``current_shard``.
         Installing a trace hook *mid-run* (from a callback) is
         unsupported — hooks must be in place before :meth:`run`, which
         every recorder in this codebase already guarantees.
@@ -263,7 +409,28 @@ class Engine:
         trace = self.trace
         processed = self.events_processed
         try:
-            if until is None and trace is None:
+            if heap is None:
+                # generic loop over the EventQueue protocol
+                queue = self._queue
+                qpop = queue.pop
+                qpeek = queue.peek_time
+                while len(queue):
+                    if until is not None and qpeek() > until:
+                        self.now = until
+                        break
+                    t, _seq, ev = qpop()
+                    self.now = t
+                    self.current_shard = ev.shard
+                    ev._processed = True
+                    processed += 1
+                    if trace is not None:
+                        trace.on_event(t, ev)
+                    cbs = ev.callbacks
+                    if cbs:
+                        ev.callbacks = []
+                        for fn in cbs:
+                            fn(ev)
+            elif until is None and trace is None:
                 # fastest variant: no deadline, no recorder
                 while heap:
                     t, _seq, ev = heappop(heap)
@@ -301,9 +468,9 @@ class Engine:
         """Run until ``event`` is processed; return its value.
 
         Raises the event's exception if it failed, or
-        :class:`SimulationError` if the heap drains first (deadlock)."""
+        :class:`SimulationError` if the queue drains first (deadlock)."""
         while not event.processed:
-            if not self._heap:
+            if not len(self._queue):
                 raise SimulationError(
                     f"event heap drained before {event!r} fired (deadlock?)"
                 )

@@ -1,0 +1,46 @@
+"""Sharded DES core: partitioned event storage + pod-parallel execution.
+
+Three layers, strongest guarantee first:
+
+* :class:`ShardedEventQueue` — per-shard sub-queues popped in the exact
+  global ``(time, seq)`` order.  Byte-identical to the single heap by
+  construction (the differential suite proves it per golden cell), and
+  it *measures* the conservative lookahead invariant: all non-OOB
+  cross-shard traffic keeps at least the minimum fabric hop latency of
+  slack (:class:`LookaheadViolation` on enforcement).
+* :class:`ShardPlan` — the contiguous node→shard partition the fabric
+  and the cluster builders share.
+* :mod:`repro.sim.shard.parallel` — real ``multiprocessing`` speedup
+  for node-disjoint pod workloads (infinite mutual lookahead), with a
+  deterministic ``(time, shard_id, seq)`` cross-shard trace merge.
+"""
+
+from repro.sim.shard.partition import ShardPlan
+from repro.sim.shard.queue import (
+    SYNC_NAME_PREFIXES,
+    LookaheadViolation,
+    ShardStats,
+    ShardedEventQueue,
+)
+from repro.sim.shard.parallel import (
+    PodScenario,
+    PodSweepResult,
+    merge_traces,
+    merged_trace_fingerprint,
+    run_pod_cell,
+    run_pods,
+)
+
+__all__ = [
+    "SYNC_NAME_PREFIXES",
+    "LookaheadViolation",
+    "PodScenario",
+    "PodSweepResult",
+    "ShardPlan",
+    "ShardStats",
+    "ShardedEventQueue",
+    "merge_traces",
+    "merged_trace_fingerprint",
+    "run_pod_cell",
+    "run_pods",
+]

@@ -1,0 +1,54 @@
+"""Shard partitioning: contiguous node blocks.
+
+A :class:`ShardPlan` maps every node of the cluster to one of
+``shards`` contiguous blocks of (near-)equal size.  Contiguity matters
+for two reasons:
+
+* rank-to-node placement is itself contiguous-by-default
+  (``ClusterSpec.node_of`` packs ranks onto consecutive nodes), so
+  neighbouring ranks — the ones that talk most in the NPB kernels —
+  land in the same shard and their traffic stays shard-local;
+* the map is a pure arithmetic function, so re-deriving it in a worker
+  process (or in the fabric's delivery re-tagging) is trivially
+  deterministic with no shared state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """Assignment of ``nodes`` cluster nodes to ``shards`` shards."""
+
+    shards: int
+    nodes: int
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise ValueError(f"nodes must be >= 1, got {self.nodes}")
+        if not 1 <= self.shards <= self.nodes:
+            raise ValueError(
+                f"shards must be in [1, nodes]: got {self.shards} shards "
+                f"for {self.nodes} nodes"
+            )
+
+    def shard_of_node(self, node: int) -> int:
+        """The shard owning ``node`` (balanced contiguous blocks)."""
+        if not 0 <= node < self.nodes:
+            raise ValueError(f"node {node} outside [0, {self.nodes})")
+        return node * self.shards // self.nodes
+
+    def nodes_of(self, shard: int) -> Tuple[int, ...]:
+        """All nodes owned by ``shard``, ascending."""
+        if not 0 <= shard < self.shards:
+            raise ValueError(f"shard {shard} outside [0, {self.shards})")
+        return tuple(
+            n for n in range(self.nodes) if self.shard_of_node(n) == shard
+        )
+
+    def sizes(self) -> Tuple[int, ...]:
+        """Nodes per shard; sizes differ by at most one."""
+        return tuple(len(self.nodes_of(s)) for s in range(self.shards))

@@ -1,0 +1,188 @@
+"""The sharded event queue: partitioned storage, global pop order.
+
+Design
+------
+A :class:`ShardedEventQueue` keeps one sub-queue per shard and pops the
+globally least ``(time, seq)`` key across the shard heads — a
+*conservative* parallel-DES structure collapsed onto one process: the
+event order is the single-heap order by construction, so every golden
+fingerprint is preserved exactly, while the partitioned storage is what
+the process-parallel pod runner (:mod:`repro.sim.shard.parallel`)
+distributes across workers when the workload itself is partitionable.
+
+Lookahead as a *verified invariant*
+-----------------------------------
+Classic conservative PDES only works because a shard can promise "no
+event for you earlier than ``now + lookahead``".  Here the lookahead
+bound — the minimum fabric hop latency,
+:func:`repro.fabric.conservative_lookahead_us` — is not used to relax
+the pop order (which must stay exact); instead the queue *measures* it:
+every push whose event is tagged for a different shard than the one
+currently executing is counted as a cross-shard push and its slack
+(``when - now``) tracked.  With ``enforce_lookahead`` a slack below the
+bound raises :class:`LookaheadViolation`.  The one legitimate exception
+is the out-of-band bootstrap plane (barrier wakes are zero-delay by
+design and model the *host* Ethernet/daemon path, not the fabric);
+those events are name-prefixed ``"oob."`` and counted separately as
+sync pushes.  The differential suite runs whole NPB cells with
+enforcement on, which is the machine-checked derivation that fabric
+traffic is the only sub-lookahead-free cross-shard channel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.sim.engine import Engine, Event, EventQueue, HeapEventQueue, SimulationError
+from repro.sim.queues import CalendarQueue
+
+#: event-name prefixes of the synchronization (out-of-band) plane,
+#: exempt from the fabric lookahead bound
+SYNC_NAME_PREFIXES = ("oob.",)
+
+
+class LookaheadViolation(SimulationError):
+    """A non-OOB cross-shard event arrived closer than the lookahead bound."""
+
+    def __init__(self, event: Event, slack_us: float, lookahead_us: float,
+                 src_shard: int, dst_shard: int):
+        super().__init__(
+            f"cross-shard event {event.name!r} from shard {src_shard} to "
+            f"shard {dst_shard} with slack {slack_us:.3f}us, below the "
+            f"conservative lookahead bound {lookahead_us:.3f}us"
+        )
+        self.event = event
+        self.slack_us = slack_us
+        self.lookahead_us = lookahead_us
+
+
+@dataclass
+class ShardStats:
+    """Merge counters of one sharded run (telemetry + tests read these)."""
+
+    shards: int
+    #: events dequeued per shard
+    pops: List[int] = field(default_factory=list)
+    #: pushes created and consumed in the same shard
+    local_pushes: int = 0
+    #: fabric-plane pushes crossing a shard boundary
+    cross_pushes: int = 0
+    #: OOB-plane pushes crossing a shard boundary (lookahead-exempt)
+    sync_pushes: int = 0
+    #: smallest observed cross-shard slack, µs (inf until one is seen)
+    min_cross_slack_us: float = float("inf")
+
+    def __post_init__(self) -> None:
+        if not self.pops:
+            self.pops = [0] * self.shards
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "shards": self.shards,
+            "pops": list(self.pops),
+            "local_pushes": self.local_pushes,
+            "cross_pushes": self.cross_pushes,
+            "sync_pushes": self.sync_pushes,
+            "min_cross_slack_us": self.min_cross_slack_us,
+        }
+
+
+def _make_inner(inner: str) -> EventQueue:
+    if inner == "heap":
+        return HeapEventQueue()
+    if inner == "calendar":
+        return CalendarQueue()
+    raise ValueError(f"unknown inner queue {inner!r}; pick 'heap' or 'calendar'")
+
+
+class ShardedEventQueue(EventQueue):
+    """Per-shard sub-queues popped in global ``(time, seq)`` order."""
+
+    __slots__ = ("_queues", "_engine", "stats", "lookahead_us",
+                 "enforce_lookahead", "_len")
+
+    def __init__(self, shards: int, *, inner: str = "heap",
+                 lookahead_us: Optional[float] = None,
+                 enforce_lookahead: bool = False):
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        self._queues: List[EventQueue] = [
+            _make_inner(inner) for _ in range(shards)
+        ]
+        self._engine: Optional[Engine] = None
+        self.stats = ShardStats(shards=shards)
+        self.lookahead_us = lookahead_us
+        self.enforce_lookahead = enforce_lookahead
+        self._len = 0
+
+    @property
+    def shards(self) -> int:
+        return len(self._queues)
+
+    def bind(self, engine: Engine) -> None:
+        self._engine = engine
+
+    def push(self, when: float, seq: int, event: Event) -> None:
+        shard = event.shard
+        queues = self._queues
+        if not 0 <= shard < len(queues):
+            raise ValueError(
+                f"event {event.name!r} tagged for shard {shard}, but the "
+                f"queue has {len(queues)} shards"
+            )
+        engine = self._engine
+        stats = self.stats
+        if engine is not None and engine.current_shard != shard:
+            if event.name.startswith(SYNC_NAME_PREFIXES):
+                stats.sync_pushes += 1
+            else:
+                slack = when - engine.now
+                stats.cross_pushes += 1
+                if slack < stats.min_cross_slack_us:
+                    stats.min_cross_slack_us = slack
+                bound = self.lookahead_us
+                # tolerance absorbs float rounding in `now + delay`
+                if (self.enforce_lookahead and bound is not None
+                        and slack < bound - 1e-9):
+                    raise LookaheadViolation(
+                        event, slack, bound, engine.current_shard, shard)
+        else:
+            stats.local_pushes += 1
+        queues[shard].push(when, seq, event)
+        self._len += 1
+
+    def pop(self) -> Tuple[float, int, Event]:
+        best = None
+        best_shard = -1
+        shard = 0
+        # list order = shard id order: the scan is deterministic, and
+        # (when, seq) keys are globally unique so there are no ties
+        for queue in self._queues:
+            head = queue.peek()
+            if head is not None and (best is None or head < best):
+                best = head
+                best_shard = shard
+            shard += 1
+        if best_shard < 0:
+            raise IndexError("pop from an empty ShardedEventQueue")
+        self.stats.pops[best_shard] += 1
+        self._len -= 1
+        return self._queues[best_shard].pop()
+
+    def peek(self) -> Optional[Tuple[float, int]]:
+        best = None
+        for queue in self._queues:
+            head = queue.peek()
+            if head is not None and (best is None or head < best):
+                best = head
+        return best
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<ShardedEventQueue shards={len(self._queues)} len={self._len} "
+            f"cross={self.stats.cross_pushes} sync={self.stats.sync_pushes}>"
+        )

@@ -1,0 +1,152 @@
+"""The engine perf trajectory (``python -m repro.bench perf``).
+
+Non-slow tests pin the *shape* of the benchmark — every configuration
+simulates the identical workload, the artifact schema is stable, the
+append mode accumulates, the fingerprint mode emits the bytes CI
+``cmp``s.  The slow tests pin the *numbers*: an absolute events/sec
+floor per configuration, and the ≥2x pod-parallel speedup floor over
+the single-shard heap baseline on the large scenario (multi-core hosts
+only — on one core process parallelism cannot win by definition).
+"""
+
+import json
+import os
+
+import pytest
+
+import repro.bench.perf_cmd as perf_cmd
+from repro.bench.perf_cmd import (
+    ARTIFACT,
+    CONFIGS,
+    SCALES,
+    load_trajectory,
+    main,
+    measure,
+    write_trajectory,
+)
+from repro.sim.shard import PodScenario
+
+#: seconds-scale scenario for the structural tests
+TINY = PodScenario(
+    pods=2, nodes_per_pod=4, ppn=2, njobs_per_pod=2,
+    mean_interarrival_us=500.0, kernels=("ring",), nprocs_choices=(4,),
+    seed=0,
+)
+
+
+def test_config_matrix_covers_the_tentpole():
+    names = [name for name, _ in CONFIGS]
+    assert names == ["heap", "calendar", "sharded", "pods"]
+    assert CONFIGS[0][1] == {"queue": "heap", "shards_per_pod": 1,
+                             "workers": 1}
+    assert set(SCALES) == {"smoke", "large"}
+
+
+def test_measure_runs_every_configuration_on_identical_events():
+    body = measure(TINY, workers=1)
+    assert set(body["configs"]) == {"heap", "calendar", "sharded", "pods"}
+    assert body["scenario"] == TINY.to_dict()
+    assert body["total_events"] > 100
+    for name, cfg in body["configs"].items():
+        assert cfg["events"] == body["total_events"], name
+        assert cfg["events_per_sec"] > 0
+        assert cfg["wall_s"] > 0
+        assert cfg["speedup_vs_heap"] > 0
+    assert body["configs"]["heap"]["speedup_vs_heap"] == 1.0
+    # the in-process sharded config actually sharded the queue
+    assert body["configs"]["sharded"]["shards_per_pod"] == 4
+
+
+def test_measure_hard_fails_on_event_divergence(monkeypatch):
+    class _Fake:
+        def __init__(self, events):
+            self.total_events = events
+
+    counts = iter([100, 100, 99, 100])
+    monkeypatch.setattr(perf_cmd, "run_pod_cell", lambda params: None)
+    monkeypatch.setattr(
+        perf_cmd, "run_pods",
+        lambda scenario, **kw: _Fake(next(counts)),
+    )
+    with pytest.raises(RuntimeError, match="diverged"):
+        measure(TINY, workers=1)
+
+
+def test_trajectory_round_trip_and_append(tmp_path):
+    path = tmp_path / ARTIFACT
+    doc = load_trajectory(path)
+    assert doc == {"schema": 1, "bench": "engine", "trajectory": []}
+    doc["trajectory"].append({"label": "a"})
+    write_trajectory(path, doc)
+    # byte-stable: sorted keys, fixed separators, trailing newline
+    text = path.read_text()
+    assert text.endswith("\n")
+    assert text == json.dumps(doc, sort_keys=True, indent=2,
+                              separators=(",", ": ")) + "\n"
+    again = load_trajectory(path)
+    assert again == doc
+
+
+def test_cli_writes_and_appends_artifact(tmp_path):
+    assert main(["--scale", "smoke", "--workers", "1", "--label", "first",
+                 "--out-dir", str(tmp_path)]) == 0
+    path = tmp_path / ARTIFACT
+    doc = json.loads(path.read_text())
+    assert doc["schema"] == 1 and doc["bench"] == "engine"
+    (entry,) = doc["trajectory"]
+    assert entry["label"] == "first"
+    assert entry["scale"] == "smoke"
+    assert entry["host_cpus"] >= 1
+    assert set(entry["configs"]) == {"heap", "calendar", "sharded", "pods"}
+
+    # --append keeps the first entry; default mode would replace it
+    assert main(["--scale", "smoke", "--workers", "1", "--label", "second",
+                 "--out-dir", str(tmp_path), "--append"]) == 0
+    doc = json.loads(path.read_text())
+    assert [e["label"] for e in doc["trajectory"]] == ["first", "second"]
+    # the deterministic half of two same-scale entries is identical
+    assert (doc["trajectory"][0]["total_events"]
+            == doc["trajectory"][1]["total_events"])
+
+
+def test_cli_fingerprint_mode_matches_ci_cmp(tmp_path):
+    """The CI shard-smoke job runs exactly this: fingerprint the same
+    kernel cell at different shard counts and ``cmp`` the files."""
+    one = tmp_path / "fp1.txt"
+    two = tmp_path / "fp2.txt"
+    assert main(["--fingerprint", "cg", "--out", str(one)]) == 0
+    assert main(["--fingerprint", "cg", "--shards", "2", "--queue",
+                 "calendar", "--out", str(two)]) == 0
+    assert one.read_bytes() == two.read_bytes()
+    digest, events = one.read_text().split()
+    assert len(digest) == 64 and int(events) > 0
+
+
+# ------------------------------------------------------ the perf floors --
+@pytest.mark.slow
+def test_engine_throughput_floor_on_large_scenario():
+    """Absolute regression floor: every configuration must clear a
+    conservative events/sec bar on the large cluster scenario (the
+    interactive baseline is ~40x this on one modern core)."""
+    body = measure(SCALES["large"], workers=min(4, os.cpu_count() or 1))
+    assert body["total_events"] > 50_000
+    for name, cfg in body["configs"].items():
+        assert cfg["events_per_sec"] > 2_000, (
+            f"{name}: {cfg['events_per_sec']} ev/s — the engine hot path "
+            f"regressed by more than an order of magnitude"
+        )
+
+
+@pytest.mark.slow
+@pytest.mark.skipif((os.cpu_count() or 1) < 4,
+                    reason="pod-parallel speedup needs >= 4 cores")
+def test_pod_parallel_speedup_floor_on_large_scenario():
+    """The acceptance floor: >= 2x events/sec over the single-shard heap
+    baseline when the pods fan out over 4 worker processes."""
+    body = measure(SCALES["large"], workers=4)
+    pods = body["configs"]["pods"]
+    assert pods["workers"] == 4
+    assert pods["speedup_vs_heap"] >= 2.0, (
+        f"pod-parallel config reached only x{pods['speedup_vs_heap']} "
+        f"over the heap baseline on {os.cpu_count()} cores"
+    )

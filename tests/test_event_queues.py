@@ -1,0 +1,295 @@
+"""Event-queue structures: hypothesis oracle + unit edge cases.
+
+The engine's ``EventQueue`` protocol admits three implementations —
+the binary heap, the calendar queue, and the sharded queue — and the
+whole golden-trace net rests on them dequeuing in the identical
+``(time, seq)`` order.  The oracle tests here drive random
+push/pop interleavings (including same-timestamp FIFO ties, which the
+global ``seq`` must break) against :class:`HeapEventQueue` and demand
+element-for-element equality; the engine-level tests replay a random
+timeout workload end to end and compare trace fingerprints.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim import (
+    CalendarQueue,
+    Engine,
+    HeapEventQueue,
+    NegativeDelayError,
+)
+from repro.sim.shard import (
+    LookaheadViolation,
+    ShardPlan,
+    ShardedEventQueue,
+)
+from repro.sim.trace import TraceRecorder
+
+SIM_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+#: candidate factories, oracle-compared against HeapEventQueue
+CANDIDATES = {
+    "calendar": lambda: CalendarQueue(),
+    "calendar-narrow": lambda: CalendarQueue(bucket_width_us=0.5),
+    "calendar-wide": lambda: CalendarQueue(bucket_width_us=1e6),
+    "sharded-1": lambda: ShardedEventQueue(1),
+    "sharded-3": lambda: ShardedEventQueue(3),
+    "sharded-2-calendar": lambda: ShardedEventQueue(2, inner="calendar"),
+}
+
+#: deltas with heavy mass on 0.0 so same-timestamp ties are common
+DELTAS = st.sampled_from([0.0, 0.0, 0.0, 0.125, 0.5, 1.0, 7.25, 64.0, 1000.0])
+
+OPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("push"), DELTAS),
+        st.tuples(st.just("pop"), st.just(0.0)),
+    ),
+    min_size=1,
+    max_size=120,
+)
+
+
+def _drive(queue, engine, ops, shards=1):
+    """Apply an op sequence to ``queue``; return the popped key stream.
+
+    Monotonicity is maintained the way the engine maintains it: every
+    push lands at ``now + delta`` with ``delta >= 0`` where ``now`` is
+    the time of the last pop.
+    """
+    queue.bind(engine)
+    now = 0.0
+    seq = 0
+    pending = 0
+    popped = []
+    for kind, delta in ops:
+        if kind == "push":
+            ev = engine.event(f"op{seq}")
+            ev.shard = seq % shards
+            queue.push(now + delta, seq, ev)
+            seq += 1
+            pending += 1
+        elif pending:
+            when, psec, ev = queue.pop()
+            popped.append((when, psec, ev.name))
+            now = when
+            pending -= 1
+        assert len(queue) == pending
+        head = queue.peek()
+        if pending:
+            assert head is not None and head[0] >= now
+        else:
+            assert head is None
+    # drain whatever remains so the full order is compared
+    while len(queue):
+        when, psec, ev = queue.pop()
+        popped.append((when, psec, ev.name))
+        now = when
+    return popped
+
+
+@pytest.mark.parametrize("name", sorted(CANDIDATES))
+@given(ops=OPS)
+@SIM_SETTINGS
+def test_queue_matches_heap_oracle(name, ops):
+    """Any push/pop interleaving dequeues exactly like the binary heap."""
+    engine = Engine()
+    shards = getattr(CANDIDATES[name](), "shards", 1)
+    expected = _drive(HeapEventQueue(), engine, ops, shards=shards)
+    engine2 = Engine()
+    got = _drive(CANDIDATES[name](), engine2, ops, shards=shards)
+    assert got == expected
+
+
+@given(
+    seed=st.integers(0, 2**32 - 1),
+    nprocs=st.integers(1, 4),
+)
+@SIM_SETTINGS
+def test_engine_trace_identical_across_queues(seed, nprocs):
+    """A full engine run (processes + timeouts, heavy zero-delay ties)
+    produces the identical trace fingerprint on every queue."""
+
+    def workload(engine):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+
+        def proc(i):
+            for step in range(6):
+                delay = float(rng.choice([0.0, 0.0, 0.5, 3.0, 17.0]))
+                yield engine.timeout(delay, name=f"p{i}.s{step}")
+
+        for i in range(nprocs):
+            engine.process(proc(i))
+        engine.run()
+
+    fingerprints = set()
+    for factory in (lambda: None, CalendarQueue,
+                    lambda: CalendarQueue(bucket_width_us=2.0),
+                    lambda: ShardedEventQueue(2),
+                    lambda: ShardedEventQueue(3, inner="calendar")):
+        recorder = TraceRecorder()
+        engine = Engine(trace=recorder, queue=factory())
+        workload(engine)
+        fingerprints.add(recorder.fingerprint())
+    assert len(fingerprints) == 1
+
+
+@pytest.mark.parametrize(
+    "queue_factory",
+    [lambda: None, CalendarQueue, lambda: ShardedEventQueue(2)],
+)
+def test_negative_delay_rejected_on_every_queue(queue_factory):
+    engine = Engine(queue=queue_factory())
+    with pytest.raises(NegativeDelayError):
+        engine.timeout(-1.0)
+    with pytest.raises(NegativeDelayError):
+        engine.schedule(-0.001, lambda: None)
+
+
+# ------------------------------------------------------- calendar queue --
+def test_calendar_queue_rejects_bad_width():
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width_us=0.0)
+    with pytest.raises(ValueError):
+        CalendarQueue(bucket_width_us=-3.0)
+
+
+def test_calendar_queue_empty_behaviour():
+    q = CalendarQueue()
+    assert len(q) == 0
+    assert q.peek() is None
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def test_calendar_queue_rejects_negative_time():
+    q = CalendarQueue()
+    with pytest.raises(ValueError):
+        q.push(-1.0, 0, Engine().event("bad"))
+
+
+def test_calendar_queue_push_into_current_bucket():
+    """After draining has started, a push into the current bucket must
+    still come out in exact (when, seq) order."""
+    engine = Engine()
+    q = CalendarQueue(bucket_width_us=100.0)
+    q.push(50.0, 0, engine.event("a"))
+    q.push(250.0, 1, engine.event("far"))
+    when, _, ev = q.pop()
+    assert (when, ev.name) == (50.0, "a")
+    # bucket 0 is current; 60 lands in it, 50+seq tie checked elsewhere
+    q.push(60.0, 2, engine.event("late-local"))
+    assert [q.pop()[2].name, q.pop()[2].name] == ["late-local", "far"]
+    assert len(q) == 0
+
+
+# --------------------------------------------------------- sharded queue --
+def test_sharded_queue_validates_construction():
+    with pytest.raises(ValueError):
+        ShardedEventQueue(0)
+    with pytest.raises(ValueError):
+        ShardedEventQueue(2, inner="splay")
+
+
+def test_sharded_queue_rejects_out_of_range_shard_tag():
+    engine = Engine()
+    q = ShardedEventQueue(2)
+    q.bind(engine)
+    ev = engine.event("stray")
+    ev.shard = 7
+    with pytest.raises(ValueError):
+        q.push(1.0, 0, ev)
+
+
+def test_sharded_queue_empty_pop():
+    q = ShardedEventQueue(3)
+    assert q.peek() is None
+    with pytest.raises(IndexError):
+        q.pop()
+
+
+def _tagged(engine, name, shard):
+    ev = engine.event(name)
+    ev.shard = shard
+    return ev
+
+
+def test_sharded_queue_counts_local_cross_and_sync_pushes():
+    engine = Engine()
+    q = ShardedEventQueue(2, lookahead_us=5.0)
+    q.bind(engine)
+    engine.current_shard = 0
+    q.push(1.0, 0, _tagged(engine, "local", 0))
+    q.push(9.0, 1, _tagged(engine, "fabric", 1))       # slack 9.0
+    q.push(6.0, 2, _tagged(engine, "fabric2", 1))      # slack 6.0 (min)
+    q.push(0.0, 3, _tagged(engine, "oob.barrier", 1))  # exempt
+    s = q.stats
+    assert (s.local_pushes, s.cross_pushes, s.sync_pushes) == (1, 2, 1)
+    assert s.min_cross_slack_us == 6.0
+    assert s.as_dict()["shards"] == 2
+    # pops attribute to the shard that owned the event
+    order = [q.pop()[2].name for _ in range(4)]
+    assert order == ["oob.barrier", "local", "fabric2", "fabric"]
+    assert s.pops == [1, 3]
+
+
+def test_sharded_queue_enforces_lookahead_bound():
+    engine = Engine()
+    q = ShardedEventQueue(2, lookahead_us=5.0, enforce_lookahead=True)
+    q.bind(engine)
+    engine.current_shard = 0
+    # at the bound: allowed (the bound is inclusive)
+    q.push(5.0, 0, _tagged(engine, "ontime", 1))
+    # under the bound and not OOB: violation
+    with pytest.raises(LookaheadViolation) as err:
+        q.push(2.0, 1, _tagged(engine, "early", 1))
+    assert err.value.slack_us == 2.0
+    assert err.value.lookahead_us == 5.0
+    # under the bound but on the OOB plane: exempt by design
+    q.push(0.0, 2, _tagged(engine, "oob.job.barrier", 1))
+    assert q.stats.sync_pushes == 1
+
+
+# ------------------------------------------------------------ shard plan --
+def test_shard_plan_validates_arguments():
+    with pytest.raises(ValueError):
+        ShardPlan(shards=0, nodes=4)
+    with pytest.raises(ValueError):
+        ShardPlan(shards=5, nodes=4)
+    with pytest.raises(ValueError):
+        ShardPlan(shards=1, nodes=0)
+    plan = ShardPlan(shards=2, nodes=4)
+    with pytest.raises(ValueError):
+        plan.shard_of_node(4)
+    with pytest.raises(ValueError):
+        plan.nodes_of(2)
+
+
+@given(
+    nodes=st.integers(1, 64),
+    shards=st.integers(1, 64),
+)
+@settings(max_examples=60, deadline=None)
+def test_shard_plan_is_a_balanced_contiguous_partition(nodes, shards):
+    if shards > nodes:
+        shards = nodes
+    plan = ShardPlan(shards=shards, nodes=nodes)
+    owners = [plan.shard_of_node(n) for n in range(nodes)]
+    # contiguous + monotone: owners never decrease, cover 0..shards-1
+    assert owners == sorted(owners)
+    assert set(owners) == set(range(shards))
+    # balanced: sizes differ by at most one and sum to nodes
+    sizes = plan.sizes()
+    assert sum(sizes) == nodes
+    assert max(sizes) - min(sizes) <= 1
+    # nodes_of agrees with shard_of_node
+    for shard in range(shards):
+        assert all(owners[n] == shard for n in plan.nodes_of(shard))

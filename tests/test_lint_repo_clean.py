@@ -4,7 +4,7 @@ explicitly suppressed with a justified ``# repro: allow[...]``)."""
 
 from pathlib import Path
 
-from repro.analysis import lint_paths
+from repro.analysis import lint_paths, lint_source
 
 REPO = Path(__file__).parent.parent
 
@@ -33,6 +33,37 @@ def test_benchmarks_and_examples_are_lint_clean():
     # wall-clock and unseeded-RNG free (they feed the paper's tables)
     report = _lint("benchmarks", "examples")
     assert report.ok, _explain(report)
+
+
+def test_shard_package_is_lint_clean():
+    # the sharded core is exactly where a stray wall-clock read or
+    # hash-ordered merge loop would silently break determinism, so it
+    # gets its own targeted gate (the whole-tree gate covers it too)
+    report = _lint("src/repro/sim/shard", "src/repro/sim/queues.py")
+    assert report.files_checked >= 5
+    assert report.ok, _explain(report)
+
+
+def test_lint_catches_unsafe_merge_loop_patterns():
+    """The rules the shard package must stay clean of actually fire on
+    the failure modes a cross-shard merge loop invites: iterating
+    shard-ready sets in hash order (REPRO003) and 'random' tie-breaks
+    from the global RNG (REPRO002)."""
+    unsafe = (
+        "import random\n"
+        "def merge(ready_shards):\n"
+        "    for shard in ready_shards:\n"
+        "        pass\n"
+        "def tie_break(a, b):\n"
+        "    return random.choice([a, b])\n"
+    )
+    violations, _ = lint_source(unsafe, path="merge.py")
+    rules = {v.rule_id for v in violations}
+    assert "REPRO002" in rules
+    # the set-iteration rule fires when the iterable is provably a set
+    set_loop = "for shard in {0, 1, 2}:\n    pass\n"
+    v2, _ = lint_source(set_loop, path="merge.py")
+    assert "REPRO003" in {v.rule_id for v in v2}
 
 
 def test_suppressions_are_counted_not_hidden():

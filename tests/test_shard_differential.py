@@ -1,0 +1,120 @@
+"""Differential equivalence: sharded/calendar engines vs the golden truth.
+
+The tentpole claim of the sharded DES core is *observational equality*:
+for every queue/shard configuration, the simulation produces the exact
+trace the single-shard binary heap produced when the golden
+fingerprints were recorded.  These tests recompute a matrix of NPB
+kernel × connection-mechanism cells under alternative engine
+configurations — with conservative-lookahead enforcement ON, so a
+cross-shard event inside the lookahead window is an error even if the
+pop order happens to survive it — and compare against the *recorded*
+``tests/golden/fingerprints.json``, not against a fresh baseline (a
+bug that shifted both would still be caught).
+
+The cluster-level variant does the same one layer up: the multi-job
+scheduler report (admission decisions, waits, makespan, per-NIC
+high-water marks) must be byte-identical JSON across shard counts.
+"""
+
+import json
+
+import pytest
+
+from repro.bench.golden import GOLDEN_KERNELS, golden_cell, load_golden
+from repro.cluster.job import run_job
+from repro.cluster.sched import run_cluster_cell
+from repro.cluster.spec import ClusterSpec
+from repro.fabric import conservative_lookahead_us
+from repro.mpi.config import MpiConfig
+from repro.via.profiles import profile_by_name
+
+RECORDED = load_golden()
+
+#: (kernel, connection, shards, queue) — ≥7 kernel×mechanism cells, plus
+#: deeper shard counts, the calendar queue alone, and the composition
+DIFF_CELLS = [
+    *[(k, "ondemand", 2, "heap") for k in GOLDEN_KERNELS],
+    ("cg", "static-p2p", 2, "heap"),
+    ("lu", "static-p2p", 2, "heap"),
+    ("cg", "static-cs", 2, "heap"),
+    ("lu", "static-cs", 2, "heap"),
+    ("cg", "ondemand", 4, "heap"),
+    ("ft", "ondemand", 4, "heap"),
+    ("ep", "ondemand", 1, "calendar"),
+    ("is", "ondemand", 1, "calendar"),
+    ("is", "ondemand", 2, "calendar"),
+]
+
+
+def _cell_id(cell):
+    kernel, conn, shards, queue = cell
+    return f"{kernel}/{conn}/shards={shards}.{queue}"
+
+
+@pytest.mark.parametrize("cell", DIFF_CELLS, ids=_cell_id)
+def test_engine_configuration_reproduces_recorded_golden(cell):
+    kernel, connection, shards, queue = cell
+    fresh = golden_cell(kernel, connection, shards=shards, queue=queue)
+    want = RECORDED[f"{kernel}/{connection}"]
+    assert fresh["fingerprint"] == want["fingerprint"], (
+        f"{_cell_id(cell)} diverged from the recorded single-shard heap "
+        f"trace: the engine configuration changed observable behaviour"
+    )
+    assert fresh["events"] == want["events"]
+
+
+def test_sharded_run_exercises_real_cross_shard_traffic():
+    """The equivalence above is only meaningful if shards actually talk:
+    run one cell with a handle on the engine and check the merge
+    counters — cross-shard fabric pushes happened, every one of them
+    kept at least the conservative lookahead of slack, and the only
+    sub-lookahead crossings were the OOB bootstrap plane's."""
+    from repro.apps.npb import KERNELS
+    from repro.cluster.build import make_engine
+
+    profile = profile_by_name("clan")
+    bound = conservative_lookahead_us(profile.link)
+    assert bound > 0.0
+
+    engine = make_engine(shards=2, nodes=4, profile="clan",
+                         enforce_lookahead=True)
+    spec = ClusterSpec(nodes=4, ppn=1, profile=profile, seed=0)
+    run_job(spec, 4, KERNELS["cg"]("S"),
+            config=MpiConfig(connection="ondemand"), engine=engine)
+
+    stats = engine.queue.stats
+    assert stats.shards == 2
+    # both shards processed work, and they exchanged fabric events
+    assert all(p > 0 for p in stats.pops)
+    assert stats.cross_pushes > 0
+    assert stats.local_pushes > stats.cross_pushes
+    # the machine-checked conservative-lookahead derivation
+    assert stats.min_cross_slack_us >= bound - 1e-9
+    # the OOB plane exists and is small next to the fabric plane
+    assert 0 < stats.sync_pushes < stats.cross_pushes
+
+
+CLUSTER_SCENARIO = dict(
+    nodes=4, ppn=2, profile="clan", vi_quota=4, policy="fcfs",
+    placement="spread", connection="ondemand", njobs=6,
+    mean_interarrival_us=1000.0, kernels=("ring", "allreduce"),
+    nprocs_choices=(4,), seed=0,
+)
+
+
+def test_cluster_report_byte_identical_across_shard_counts():
+    """One level up from traces: the scheduler's whole JSON report —
+    every admission decision, wait time, and NIC high-water mark — is
+    byte-for-byte identical no matter how the event queue is split."""
+    reports = [
+        run_cluster_cell(**CLUSTER_SCENARIO, shards=shards, queue=queue)
+        for shards, queue in ((1, "heap"), (2, "heap"), (4, "calendar"))
+    ]
+    blobs = {
+        json.dumps(rep, sort_keys=True, separators=(",", ":"))
+        for rep in reports
+    }
+    assert len(blobs) == 1
+    # and the scenario did real scheduling work, not a trivial no-op
+    assert reports[0]["events_processed"] > 1000
+    assert reports[0]["makespan_us"] > 0
