@@ -8,10 +8,12 @@ Examples::
     python -m repro.bench table1 --large      # add the scaling column
     python -m repro.bench chaos --smoke       # fault-injection sweep
     python -m repro.bench trace cg --np 4     # telemetry + Chrome trace
+    python -m repro.bench flow cg --np 8      # where did the time go?
     python -m repro.bench sweep --workers 4   # parallel cached sweep
     python -m repro.bench cluster --workers 3 # multi-job scheduler sweep
     python -m repro.bench golden --check      # golden-trace fingerprints
     python -m repro.bench perf --scale smoke  # engine events/sec trajectory
+    python -m repro.bench perf --check        # perf-regression gate
 """
 
 from __future__ import annotations
@@ -40,6 +42,11 @@ def main(argv=None) -> int:
         from repro.bench.trace_cmd import main as trace_main
 
         return trace_main(argv[1:])
+    if argv and argv[0] == "flow":
+        # critical-path attribution of a traced run (own flags as well)
+        from repro.bench.flow_cmd import main as flow_main
+
+        return flow_main(argv[1:])
     if argv and argv[0] == "sanitize":
         # runtime-sanitizer smoke run (own flags as well)
         from repro.bench.sanitize_cmd import main as sanitize_main

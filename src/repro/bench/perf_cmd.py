@@ -7,6 +7,7 @@ on one fixed pod scenario and appends a per-commit entry to
     python -m repro.bench perf                    # large scenario
     python -m repro.bench perf --scale smoke      # CI-sized
     python -m repro.bench perf --append --label pr7
+    python -m repro.bench perf --check            # regression gate
     python -m repro.bench perf --fingerprint cg --shards 2 --out fp.txt
 
 Every configuration simulates the *identical* workload — the command
@@ -20,6 +21,15 @@ one intentionally nondeterministic part of the artifact.
 one kernel cell's trace fingerprint to a file, so a shell ``cmp`` of
 the 1-shard and N-shard outputs proves observational equality without
 a Python test harness in the loop.
+
+``--check`` is the perf-regression gate: it compares the trajectory's
+newest entry against the trailing median of earlier same-scale entries,
+per engine configuration, and exits 1 when any configuration's
+events/sec fell below ``--tolerance`` × median.  The default tolerance
+is deliberately loose (0.5) because shared CI runners are noisy — the
+gate catches algorithmic regressions (an accidental O(n²) queue), not
+single-digit jitter.  With fewer than one comparable prior entry it
+passes with a note, so a fresh trajectory never blocks CI.
 """
 
 from __future__ import annotations
@@ -124,6 +134,75 @@ def write_trajectory(path: Path, doc: Dict[str, Any]) -> None:
     path.write_text(text, encoding="utf-8")
 
 
+def check_trajectory(doc: Dict[str, Any], tolerance: float) -> Dict[str, Any]:
+    """Gate the newest trajectory entry against its trailing history.
+
+    Returns a verdict dict: ``ok`` (bool), ``reason`` (str when nothing
+    was comparable), and per-configuration ``rows`` of
+    ``(name, eps, median, floor, ok)``.  Pure function of the document,
+    so tests can feed synthetic trajectories.
+    """
+    trajectory = doc.get("trajectory", [])
+    if not trajectory:
+        return {"ok": False, "reason": "trajectory is empty", "rows": []}
+    newest = trajectory[-1]
+    prior = [e for e in trajectory[:-1]
+             if e.get("scale") == newest.get("scale")]
+    if not prior:
+        return {
+            "ok": True,
+            "reason": f"no earlier {newest.get('scale')!r}-scale entries "
+                      "to compare against",
+            "rows": [],
+        }
+    rows = []
+    for name, cfg in sorted(newest.get("configs", {}).items()):
+        history = sorted(
+            e["configs"][name]["events_per_sec"]
+            for e in prior if name in e.get("configs", {})
+        )
+        if not history:
+            continue
+        median = history[len(history) // 2]
+        floor = tolerance * median
+        eps = cfg["events_per_sec"]
+        rows.append({
+            "name": name, "events_per_sec": eps, "median": median,
+            "floor": floor, "ok": eps >= floor,
+        })
+    if not rows:
+        return {"ok": True,
+                "reason": "no configuration overlaps with the history",
+                "rows": []}
+    return {"ok": all(r["ok"] for r in rows), "reason": "", "rows": rows}
+
+
+def run_check(args: argparse.Namespace) -> int:
+    """The ``--check`` gate: exit 1 on an events/sec regression."""
+    path = Path(args.out_dir) / ARTIFACT
+    doc = load_trajectory(path)
+    verdict = check_trajectory(doc, args.tolerance)
+    trajectory = doc.get("trajectory", [])
+    label = trajectory[-1].get("label", "?") if trajectory else "?"
+    print(f"perf check: {path} ({len(trajectory)} entries, "
+          f"newest {label!r}, tolerance {args.tolerance})")
+    if verdict["reason"]:
+        print(f"  {verdict['reason']} — "
+              + ("pass" if verdict["ok"] else "FAIL"))
+        return 0 if verdict["ok"] else 1
+    for row in verdict["rows"]:
+        status = "ok" if row["ok"] else "REGRESSION"
+        print(f"  {row['name']:<10} {row['events_per_sec']:>12,.0f} ev/s "
+              f"vs trailing median {row['median']:>12,.0f} "
+              f"(floor {row['floor']:>12,.0f})  {status}")
+    if not verdict["ok"]:
+        bad = ", ".join(r["name"] for r in verdict["rows"] if not r["ok"])
+        print(f"FAIL: events/sec regression in: {bad}")
+        return 1
+    print("pass")
+    return 0
+
+
 def run_fingerprint(args: argparse.Namespace) -> int:
     """Write one kernel cell's fingerprint (CI's ``cmp`` differential)."""
     from repro.cluster.job import run_kernel_cell
@@ -161,6 +240,13 @@ def main(argv=None) -> int:
     parser.add_argument("--append", action="store_true",
                         help="append to an existing trajectory instead of "
                              "rewriting it with this one entry")
+    parser.add_argument("--check", action="store_true",
+                        help="regression gate: compare the newest entry "
+                             "against the trailing same-scale median and "
+                             "exit 1 on a regression (no measurement run)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="--check floor as a fraction of the trailing "
+                             "median events/sec (default 0.5)")
     parser.add_argument("--fingerprint", metavar="KERNEL", default=None,
                         help="fingerprint mode: run one kernel cell and "
                              "write '<sha256> <events>' (for CI cmp)")
@@ -179,6 +265,8 @@ def main(argv=None) -> int:
                         help="fingerprint mode: output file")
     args = parser.parse_args(argv)
 
+    if args.check:
+        return run_check(args)
     if args.fingerprint is not None:
         return run_fingerprint(args)
 

@@ -80,11 +80,25 @@ class JobResult:
     def max_init_time_us(self) -> float:
         return max(self.init_times_us)
 
+    def critical_path(self):
+        """Per-message latency attribution of a traced run.
+
+        Returns a :class:`~repro.telemetry.critpath.CritPathReport`
+        (where each message's latency went: connect stall, flow
+        control, NIC service, wire, other), or None when the job ran
+        without telemetry.
+        """
+        if self.telemetry is None:
+            return None
+        from repro.telemetry.critpath import analyze
+
+        return analyze(self.telemetry)
+
     def summary(self) -> str:
         """One-line job digest for CLIs and logs."""
         faults = 0 if self.chaos is None else self.chaos.total_faults
         retries = 0 if self.chaos is None else self.chaos.connect_retries
-        return (
+        out = (
             f"{self.nprocs} ranks ({self.config.connection}) | "
             f"sim time {self.total_time_us:.1f}us | "
             f"init avg {self.avg_init_time_us:.1f}us | "
@@ -92,6 +106,10 @@ class JobResult:
             f"{retries} connect retries | "
             f"{faults} faults | {self.dropped_messages} drops"
         )
+        critpath = self.critical_path()
+        if critpath is not None and critpath.flows:
+            out += f"\n{critpath.summary()}"
+        return out
 
 
 def run_job(

@@ -90,6 +90,9 @@ class JobRecord:
     #: node of each rank, in rank order
     nodes: Tuple[int, ...] = ()
     resources: Optional[ResourceReport] = None
+    #: per-job latency attribution (traced runs only; rounded µs per
+    #: bucket plus connect_share — see repro.telemetry.critpath)
+    critpath: Optional[Dict[str, float]] = None
 
     @property
     def wait_us(self) -> float:
@@ -100,7 +103,7 @@ class JobRecord:
         return self.finish_us - self.arrival_us
 
     def to_dict(self) -> Dict[str, Any]:
-        return {
+        out = {
             "job_id": self.job_id,
             "kernel": self.kernel,
             "nprocs": self.nprocs,
@@ -119,6 +122,11 @@ class JobRecord:
                 else self.resources.total_connections
             ),
         }
+        if self.critpath is not None:
+            # only present on traced runs, so untraced reports stay
+            # byte-identical to what they were before flow tracing
+            out["critpath"] = self.critpath
+        return out
 
 
 @dataclass
@@ -587,6 +595,14 @@ class ClusterScheduler:
         )
         if self.tel is not None:
             self.tel.finish(engine.now)
+            # per-job latency attribution: send spans carry the job id,
+            # so one analysis pass splits cleanly across co-scheduled
+            # jobs even though they share rank tracks
+            from repro.telemetry.critpath import analyze
+
+            critpath = analyze(self.tel)
+            for jid, record in self.records.items():
+                record.critpath = critpath.for_job(jid).job_breakdown()
             m = self.tel.metrics
             # same gauge names ResourceReport.to_metrics emits, so
             # single-job and cluster dashboards share one query

@@ -120,6 +120,7 @@ class Network:
                     "fabric.hop", ("link", packet.src),
                     packet.injected_at, self.engine.now,
                     dst=packet.dst, kind=packet.kind, bytes=packet.wire_bytes,
+                    flow=packet.flow_id,
                 )
             self._handlers[packet.dst](packet)
 

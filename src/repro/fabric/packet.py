@@ -37,6 +37,9 @@ class Packet:
     payload: Any
     kind: str = "data"
     packet_id: int = field(default_factory=lambda: next(_packet_ids))
+    #: causal flow id stamped by a traced NIC (0 = untagged); the fabric
+    #: only echoes it into its hop spans, never branches on it
+    flow_id: int = 0
 
     #: filled in by the fabric at injection / delivery (diagnostics)
     injected_at: float = -1.0

@@ -42,6 +42,9 @@ class ChaosReport:
     # connection recovery (MPI connection managers)
     connect_retries: int = 0
     connect_failures: int = 0
+    #: connection mechanism of the job (keys conn.<mechanism>.* in
+    #: to_metrics; not part of as_dict so legacy comparisons hold)
+    mechanism: str = ""
 
     @property
     def total_faults(self) -> int:
@@ -78,6 +81,15 @@ class ChaosReport:
         in-Python view."""
         for key, value in self.as_dict().items():
             registry.counter(f"chaos.{key}").inc(value)
+        if self.mechanism:
+            # retry/failure counters attributed to the connection
+            # strategy that paid them, alongside the live
+            # conn.<mechanism>.setup_us histograms
+            pre = f"conn.{self.mechanism}"
+            registry.counter(f"{pre}.connect_retries").inc(
+                self.connect_retries)
+            registry.counter(f"{pre}.connect_failures").inc(
+                self.connect_failures)
 
     def summary(self) -> str:
         return (
@@ -119,4 +131,6 @@ def collect_chaos(
     for adi in devices.values():
         report.connect_retries += adi.conn.connect_retries
         report.connect_failures += adi.conn.connect_failures
+    if devices:
+        report.mechanism = devices[min(devices)].conn.name
     return report

@@ -55,6 +55,9 @@ class ResourceReport:
     #: The per-NIC footprint the paper's Tables 1–2 argue about; the
     #: cluster scheduler's quota bound is checked against exactly this.
     nic_vi_high_water: Dict[int, int] = field(default_factory=dict)
+    #: connection mechanism the job ran under ("ondemand" /
+    #: "static-p2p" / "static-cs"); keys the conn.<mechanism>.* metrics
+    mechanism: str = ""
 
     @property
     def nprocs(self) -> int:
@@ -130,6 +133,15 @@ class ResourceReport:
         for node in sorted(self.nic_vi_high_water):
             registry.gauge(f"nic.n{node}.vi_high_water").set(
                 self.nic_vi_high_water[node])
+        if self.mechanism:
+            # mechanism-keyed view next to the live conn.<mechanism>.*
+            # setup histograms/counters, so one query compares setup
+            # cost and footprint across connection strategies
+            pre = f"conn.{self.mechanism}"
+            registry.gauge(f"{pre}.total_connections").set(
+                self.total_connections)
+            registry.gauge(f"{pre}.avg_vis").set(self.avg_vis)
+            registry.gauge(f"{pre}.utilization").set(self.utilization)
 
 
 def collect_resources(
@@ -142,6 +154,8 @@ def collect_resources(
     With ``nics`` given, per-NIC VI high-water marks are included.
     """
     report = ResourceReport()
+    if devices:
+        report.mechanism = devices[min(devices)].conn.name
     if nics is not None:
         for nic in nics:
             report.nic_vi_high_water[nic.node_id] = nic.vi_high_water

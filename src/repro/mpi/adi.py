@@ -149,6 +149,7 @@ class AbstractDevice:
             # covers VI creation through establishment, any manager
             ch.tel_connect = self.telemetry.begin(
                 "conn.connect", ("rank", self.rank), peer=ch.dest,
+                mechanism=self.conn.name,
             )
         vi, cost = self.provider.create_vi(remote_rank=ch.dest)
         self.charge(cost)
@@ -160,6 +161,13 @@ class AbstractDevice:
         ch.state = ChannelState.CONNECTED
         ch.connected_at = self.engine.now
         ch.last_used_at = self.engine.now
+        if self.telemetry is not None:
+            # per-mechanism lifecycle metrics: connect-cycle setup time
+            # (VI creation through establishment) and setup count
+            mech = self.conn.name
+            self.telemetry.histogram(f"conn.{mech}.setup_us").observe(
+                self.engine.now - ch.opened_at)
+            self.telemetry.counter(f"conn.{mech}.connections").inc()
         if ch.tel_connect is not None:
             ch.tel_connect.end(ok=True, vi=ch.vi.vi_id)
             ch.tel_connect = None
@@ -231,12 +239,18 @@ class AbstractDevice:
 
         ch = self.conn.channel_for(dest)
         eager = nbytes <= self.config.eager_threshold
+        flow = 0
         if self.telemetry is not None:
+            # one causal flow per MPI-level message, propagated through
+            # header -> descriptor -> NIC -> packet to remote completion
+            flow = self.telemetry.new_flow()
+            req.flow_id = flow
             # begin before the buffered-mode early completion below
             req.tel_span = self.telemetry.begin(
                 "mpi.send.eager" if eager else "mpi.send.rndv",
                 ("rank", self.rank),
                 dest=dest, tag=tag, nbytes=nbytes, mode=mode.value,
+                flow=flow, job=self.provider.job_id,
             )
 
         send_payload = payload
@@ -253,14 +267,14 @@ class AbstractDevice:
             header = EagerHeader(
                 src_rank=self.rank, context_id=context_id, tag=tag,
                 nbytes=nbytes, sync=(mode is SendMode.SYNCHRONOUS),
-                request_id=req.request_id,
+                request_id=req.request_id, flow_id=flow,
             )
             ch.stamp_envelope(header)
             item = PendingSend(header, send_payload, req, enqueued_at=self.engine.now)
         else:
             header = RtsHeader(
                 src_rank=self.rank, context_id=context_id, tag=tag,
-                nbytes=nbytes, request_id=req.request_id,
+                nbytes=nbytes, request_id=req.request_id, flow_id=flow,
             )
             ch.stamp_envelope(header)
             item = PendingSend(header, send_payload, req, is_rts=True,
@@ -338,12 +352,15 @@ class AbstractDevice:
             ch = self.channels[msg.src_rank]
             self._start_rndv_response(req, ch, msg)
         else:
+            if req.tel_span is not None:
+                req.tel_span.set(flow=msg.flow_id)
             self._copy_into_recv(req, msg.data, msg.nbytes, msg.src_rank, msg.tag)
             req.complete(self.engine.now)
             if msg.sync:
                 self._queue_control(
                     self.channels[msg.src_rank],
-                    AckHeader(src_rank=self.rank, send_request_id=msg.send_request_id),
+                    AckHeader(src_rank=self.rank, send_request_id=msg.send_request_id,
+                              flow_id=msg.flow_id),
                 )
         return req
 
@@ -382,6 +399,8 @@ class AbstractDevice:
         req.status.source = msg.src_rank
         req.status.tag = msg.tag
         req.status.nbytes = msg.nbytes
+        if req.tel_span is not None:
+            req.tel_span.set(flow=msg.flow_id)
         self._awaiting_fin[req.request_id] = req
         self._queue_control(
             ch,
@@ -391,6 +410,7 @@ class AbstractDevice:
                 recv_request_id=req.request_id,
                 region_handle=region.handle,
                 region_offset=0,
+                flow_id=msg.flow_id,
             ),
         )
 
@@ -419,6 +439,22 @@ class AbstractDevice:
             if self.config.dynamic_buffers:
                 # demand signal for the receiver's window growth
                 header.queued_behind = len(ch.send_fifo)
+            if self.telemetry is not None and item.request is not None:
+                # attribute the channel-FIFO wait of this message: the
+                # part spent waiting for the connection (first-message
+                # penalty) vs flow control (credits / bounce buffers)
+                wait_us = self.engine.now - item.enqueued_at
+                connect_us = 0.0
+                if ch.connected_at > item.enqueued_at:
+                    connect_us = min(ch.connected_at - item.enqueued_at, wait_us)
+                    self.telemetry.histogram(
+                        f"conn.{self.conn.name}.first_msg_penalty_us"
+                    ).observe(connect_us)
+                if item.request.tel_span is not None:
+                    item.request.tel_span.set(
+                        connect_stall_us=connect_us,
+                        fc_stall_us=wait_us - connect_us,
+                    )
             # an RTS is a bare envelope: the payload travels later by RDMA
             wire_payload = None if item.is_rts else item.payload
             desc, cost = self.provider.post_send(
@@ -539,6 +575,8 @@ class AbstractDevice:
                 header.src_rank, header.context_id, header.tag
             )
             if req is not None:
+                if req.tel_span is not None:
+                    req.tel_span.set(flow=header.flow_id)
                 data = desc.buffer.view()[: header.nbytes] if header.nbytes else None
                 self._copy_into_recv(req, data, header.nbytes,
                                      header.src_rank, header.tag)
@@ -546,7 +584,8 @@ class AbstractDevice:
                 if header.sync:
                     self._queue_control(
                         ch, AckHeader(src_rank=self.rank,
-                                      send_request_id=header.request_id))
+                                      send_request_id=header.request_id,
+                                      flow_id=header.flow_id))
             else:
                 staged = None
                 if header.nbytes:
@@ -558,7 +597,7 @@ class AbstractDevice:
                         tag=header.tag, nbytes=header.nbytes, seq=header.seq,
                         data=staged, is_rts=False,
                         send_request_id=header.request_id, sync=header.sync,
-                        arrived_at=self.engine.now,
+                        arrived_at=self.engine.now, flow_id=header.flow_id,
                     )
                 )
         elif isinstance(header, RtsHeader):
@@ -570,7 +609,7 @@ class AbstractDevice:
                 src_rank=header.src_rank, context_id=header.context_id,
                 tag=header.tag, nbytes=header.nbytes, seq=header.seq,
                 data=None, is_rts=True, send_request_id=header.request_id,
-                arrived_at=self.engine.now,
+                arrived_at=self.engine.now, flow_id=header.flow_id,
             )
             if req is not None:
                 self._start_rndv_response(req, ch, msg)
@@ -580,6 +619,7 @@ class AbstractDevice:
             if self.telemetry is not None:
                 self.telemetry.instant(
                     "mpi.rndv.cts", ("rank", self.rank), peer=header.src_rank,
+                    flow=header.flow_id,
                 )
             send_req = self._awaiting_cts.pop(header.send_request_id)
             region, cost = self.provider.dreg.acquire(
@@ -589,6 +629,7 @@ class AbstractDevice:
             _desc, cost = self.provider.post_rdma_write(
                 ch.vi, send_req.buffer, header.region_handle,
                 header.region_offset, context=("rdma", send_req),
+                flow_id=header.flow_id,
             )
             self.charge(cost)
             ch.rndv_outstanding -= 1
@@ -597,13 +638,14 @@ class AbstractDevice:
                 ch,
                 FinHeader(src_rank=self.rank,
                           recv_request_id=header.recv_request_id,
-                          nbytes=send_req.nbytes),
+                          nbytes=send_req.nbytes, flow_id=header.flow_id),
             )
         elif isinstance(header, FinHeader):
             if self.telemetry is not None:
                 self.telemetry.instant(
                     "mpi.rndv.fin", ("rank", self.rank),
                     peer=header.src_rank, nbytes=header.nbytes,
+                    flow=header.flow_id,
                 )
             req = self._awaiting_fin.pop(header.recv_request_id)
             ch.bytes_received += header.nbytes

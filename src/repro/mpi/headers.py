@@ -26,6 +26,10 @@ class BaseHeader:
     #: messages still queued behind this one (the dynamic-flow-control
     #: demand signal; 0 when the feature is off or the FIFO drained)
     queued_behind: int = 0
+    #: causal flow id of the MPI-level message this header serves
+    #: (rendezvous control echoes the originating send's id); 0 =
+    #: untraced run — pure data, never branched on by the protocol
+    flow_id: int = 0
 
 
 @dataclass

@@ -40,6 +40,8 @@ class UnexpectedMessage:
     send_request_id: int = 0
     sync: bool = False
     arrived_at: float = 0.0
+    #: causal flow id carried by the envelope (0 = untraced)
+    flow_id: int = 0
 
 
 def _accepts(req: Request, src: int, context: int, tag: int) -> bool:

@@ -51,7 +51,7 @@ class Request:
         "request_id", "kind", "state", "comm_context", "peer", "tag",
         "mode", "buffer", "nbytes", "status", "match_seq",
         "rndv_handle", "rndv_region", "temp_copy", "error",
-        "completed_at", "posted_at", "tel_span",
+        "completed_at", "posted_at", "tel_span", "flow_id",
     )
 
     def __init__(
@@ -89,6 +89,8 @@ class Request:
         self.posted_at = posted_at
         #: open telemetry span (post -> completion), if the job is traced
         self.tel_span = None
+        #: causal flow id (sends only; 0 = untraced)
+        self.flow_id = 0
 
     @property
     def done(self) -> bool:

@@ -7,7 +7,11 @@ Public surface:
 * :class:`MetricsRegistry` (+ :class:`Counter`, :class:`Gauge`,
   :class:`Histogram`) — deterministic numeric metrics;
 * exporters — :func:`export_jsonl`, :func:`export_chrome_trace`
-  (Perfetto-loadable), :func:`summary_experiment` (text table).
+  (Perfetto-loadable, with causal flow arrows), :func:`summary_experiment`
+  (text table);
+* flow analysis — :func:`build_flow_index` (causal message flows),
+  :func:`analyze_critical_path` / :class:`CritPathReport` (where did
+  each message's latency go: connect stall, flow control, NIC, wire).
 """
 
 from repro.telemetry.core import (
@@ -18,6 +22,13 @@ from repro.telemetry.core import (
     TelemetryConfig,
     Track,
 )
+from repro.telemetry.critpath import (
+    BUCKETS,
+    CritPathReport,
+    FlowBreakdown,
+    PairStats,
+)
+from repro.telemetry.critpath import analyze as analyze_critical_path
 from repro.telemetry.export import (
     chrome_trace,
     export_chrome_trace,
@@ -25,6 +36,7 @@ from repro.telemetry.export import (
     jsonl_lines,
     summary_experiment,
 )
+from repro.telemetry.flow import build_flow_index, flow_links, flow_of
 from repro.telemetry.metrics import (
     DEFAULT_LATENCY_EDGES_US,
     Counter,
@@ -50,4 +62,12 @@ __all__ = [
     "chrome_trace",
     "export_chrome_trace",
     "summary_experiment",
+    "build_flow_index",
+    "flow_links",
+    "flow_of",
+    "analyze_critical_path",
+    "CritPathReport",
+    "FlowBreakdown",
+    "PairStats",
+    "BUCKETS",
 ]

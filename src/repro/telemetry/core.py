@@ -165,10 +165,21 @@ class Telemetry:
         #: records not stored because max_events was reached
         self.dropped = 0
         self._seq = 0
+        self._next_flow = 0
         #: per-track stack of open *lexical* spans (context-manager form)
         self._stacks: Dict[Track, List[SpanRecord]] = {}
 
     # -- recording ----------------------------------------------------------
+    def new_flow(self) -> int:
+        """Allocate a causal flow id (one per MPI-level message).
+
+        Ids start at 1 and count in recording order, so two same-seed
+        runs allocate identical sequences and the exports stay
+        byte-deterministic.  0 means "untagged" everywhere.
+        """
+        self._next_flow += 1
+        return self._next_flow
+
     def _keep(self, name: str) -> bool:
         cats = self.config.categories
         return cats is None or name.split(".", 1)[0] in cats

@@ -1,0 +1,231 @@
+"""Critical-path attribution: where did each message's latency go?
+
+Walks a traced run's causal flow DAG (:mod:`repro.telemetry.flow`) and
+splits every MPI-level message's end-to-end latency — from the send
+post to the last event the flow touches (remote NIC service / receive
+completion) — into the paper's cost centres:
+
+* ``connect_us`` — **connect stall**: the message sat in the channel
+  FIFO waiting for the VI connection (the on-demand first-message
+  penalty; zero once the connection exists);
+* ``fc_us`` — **flow-control stall**: FIFO wait on a *connected*
+  channel (eager credits, bounce buffers, rendezvous window);
+* ``nic_us`` — **NIC service**: doorbell-scan-dependent send and
+  receive firmware service windows (``nic.tx`` + ``nic.rx`` spans);
+* ``wire_us`` — **wire**: fabric occupancy, injection to delivery
+  (``fabric.hop`` spans, port serialization included);
+* ``other_us`` — the remainder: host posting costs, CQ polling delay,
+  rendezvous control round-trips, receiver-side match latency.
+
+The per-message decomposition is exact by construction
+(``connect + fc + nic + wire + other == t_end - t0``); aggregate views
+(:meth:`CritPathReport.totals`, :meth:`CritPathReport.job_breakdown`)
+sum it per job, and :meth:`CritPathReport.pair_stats` separates each
+(src, dst) pair's *first* message from its steady state — the paper's
+"first message pays the connection setup" claim, measurable per run.
+
+Pure post-run analysis: no engine access, nothing here can perturb a
+simulation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.telemetry.core import SpanRecord, Telemetry
+from repro.telemetry.flow import build_flow_index, record_end
+
+#: the attribution buckets, in reporting order
+BUCKETS = ("connect_us", "fc_us", "nic_us", "wire_us", "other_us")
+
+#: human labels for rendered breakdowns
+BUCKET_LABELS = {
+    "connect_us": "connect stall",
+    "fc_us": "flow-control stall",
+    "nic_us": "NIC service",
+    "wire_us": "wire",
+    "other_us": "other (host/protocol)",
+}
+
+
+@dataclass
+class FlowBreakdown:
+    """One message's attributed latency."""
+
+    flow: int
+    src: int
+    dst: int
+    kind: str  # "eager" | "rndv"
+    nbytes: int
+    job: int
+    t0: float
+    t_end: float
+    connect_us: float
+    fc_us: float
+    nic_us: float
+    wire_us: float
+    other_us: float
+    #: True for the first message of its (job, src, dst) pair
+    first_message: bool = False
+
+    @property
+    def total_us(self) -> float:
+        return self.t_end - self.t0
+
+
+@dataclass
+class PairStats:
+    """First-vs-steady latency of one (src, dst) pair."""
+
+    job: int
+    src: int
+    dst: int
+    messages: int
+    #: end-to-end latency of the pair's first message
+    first_us: float
+    #: median end-to-end latency of the remaining messages (equals
+    #: ``first_us`` when the pair only ever sent once)
+    steady_us: float
+    #: connect stall attributed to the first message
+    first_connect_us: float
+
+    @property
+    def penalty_us(self) -> float:
+        """Extra latency the first message paid over steady state."""
+        return self.first_us - self.steady_us
+
+
+@dataclass
+class CritPathReport:
+    """All attributed flows of one traced run."""
+
+    flows: List[FlowBreakdown] = field(default_factory=list)
+
+    @property
+    def messages(self) -> int:
+        return len(self.flows)
+
+    def jobs(self) -> List[int]:
+        return sorted({f.job for f in self.flows})
+
+    def for_job(self, job: int) -> "CritPathReport":
+        return CritPathReport([f for f in self.flows if f.job == job])
+
+    def totals(self) -> Dict[str, float]:
+        """Summed attribution across all flows (µs per bucket)."""
+        out = {b: 0.0 for b in BUCKETS}
+        for f in self.flows:
+            for b in BUCKETS:
+                out[b] += getattr(f, b)
+        return out
+
+    def shares(self) -> Dict[str, float]:
+        """Each bucket's share of the total attributed latency (0..1)."""
+        totals = self.totals()
+        attributed = sum(totals.values())
+        if attributed <= 0.0:
+            return {b: 0.0 for b in BUCKETS}
+        return {b: totals[b] / attributed for b in BUCKETS}
+
+    def connect_share(self) -> float:
+        """Connect stall / total attributed message latency (0..1)."""
+        return self.shares()["connect_us"]
+
+    def pair_stats(self) -> List[PairStats]:
+        """First-vs-steady statistics per (job, src, dst) pair."""
+        groups: Dict[Tuple[int, int, int], List[FlowBreakdown]] = {}
+        for f in self.flows:
+            groups.setdefault((f.job, f.src, f.dst), []).append(f)
+        out: List[PairStats] = []
+        for (job, src, dst), flows in sorted(groups.items()):
+            flows.sort(key=lambda f: (f.t0, f.flow))
+            first = flows[0]
+            rest = sorted(f.total_us for f in flows[1:])
+            steady = rest[len(rest) // 2] if rest else first.total_us
+            out.append(PairStats(
+                job=job, src=src, dst=dst, messages=len(flows),
+                first_us=first.total_us, steady_us=steady,
+                first_connect_us=first.connect_us,
+            ))
+        return out
+
+    def job_breakdown(self, job: Optional[int] = None) -> Dict[str, float]:
+        """Stable-keyed per-job aggregate for reports (µs, rounded)."""
+        flows = self.flows if job is None else [f for f in self.flows
+                                               if f.job == job]
+        out: Dict[str, float] = {"messages": len(flows)}
+        for b in BUCKETS:
+            out[b] = round(sum(getattr(f, b) for f in flows), 3)
+        attributed = sum(out[b] for b in BUCKETS)
+        out["connect_share"] = (
+            round(out["connect_us"] / attributed, 4) if attributed else 0.0
+        )
+        return out
+
+    def summary(self) -> str:
+        """One-line share breakdown for ``JobResult.summary()``."""
+        if not self.flows:
+            return "critpath: no traced messages"
+        s = self.shares()
+        return (
+            f"critpath: {self.messages} msgs | "
+            f"connect {100 * s['connect_us']:.1f}% | "
+            f"fc {100 * s['fc_us']:.1f}% | "
+            f"nic {100 * s['nic_us']:.1f}% | "
+            f"wire {100 * s['wire_us']:.1f}% | "
+            f"other {100 * s['other_us']:.1f}%"
+        )
+
+
+def analyze(tel: Telemetry) -> CritPathReport:
+    """Attribute every flow of a traced run.
+
+    Flows without a send span (category-filtered or event-capped
+    streams) are skipped — attribution needs the send post anchor.
+    """
+    report = CritPathReport()
+    for fid, records in sorted(build_flow_index(tel).items()):
+        send = None
+        for rec in records:
+            if isinstance(rec, SpanRecord) and rec.name.startswith("mpi.send."):
+                send = rec
+                break
+        if send is None:
+            continue
+        t0 = send.start_us
+        t_end = t0
+        nic_us = 0.0
+        wire_us = 0.0
+        for rec in records:
+            end = record_end(rec)
+            if end > t_end:
+                t_end = end
+            if isinstance(rec, SpanRecord):
+                if rec.name in ("nic.tx", "nic.rx"):
+                    nic_us += rec.duration_us
+                elif rec.name == "fabric.hop":
+                    wire_us += rec.duration_us
+        connect_us = float(send.attrs.get("connect_stall_us", 0.0))
+        fc_us = float(send.attrs.get("fc_stall_us", 0.0))
+        other_us = max(0.0, (t_end - t0) - connect_us - fc_us
+                       - nic_us - wire_us)
+        report.flows.append(FlowBreakdown(
+            flow=fid,
+            src=send.track[1],
+            dst=int(send.attrs.get("dest", -1)),
+            kind=send.name.rsplit(".", 1)[-1],
+            nbytes=int(send.attrs.get("nbytes", 0)),
+            job=int(send.attrs.get("job", 0)),
+            t0=t0, t_end=t_end,
+            connect_us=connect_us, fc_us=fc_us,
+            nic_us=nic_us, wire_us=wire_us, other_us=other_us,
+        ))
+    # mark each (job, src, dst) pair's first message
+    seen: Dict[Tuple[int, int, int], bool] = {}
+    for f in sorted(report.flows, key=lambda f: (f.t0, f.flow)):
+        key = (f.job, f.src, f.dst)
+        if key not in seen:
+            seen[key] = True
+            f.first_message = True
+    return report

@@ -132,6 +132,14 @@ def chrome_trace(tel: Telemetry) -> dict:
             ev["dur"] = rec.duration_us
             if not rec.ok:
                 ev["cname"] = "terrible"  # Perfetto renders failures red
+            flow = rec.attrs.get("flow", 0)
+            if flow:
+                # bind all spans of one causal message flow together;
+                # Perfetto draws arrows between same-bind_id events in
+                # timestamp order (send → nic.tx → hop → nic.rx → recv)
+                ev["bind_id"] = f"0x{flow:x}"
+                ev["flow_out"] = True
+                ev["flow_in"] = True
         else:
             ev["s"] = "t"  # thread-scoped instant
         events.append(ev)

@@ -202,6 +202,12 @@ class ConnectionAgent:
     def _on_peer_request(self, req: ConnRequest) -> None:
         # the local endpoint of this request is the process with rank
         # req.dst_rank; key the local tables accordingly
+        tel = self.nic.telemetry
+        if tel is not None:
+            tel.instant(
+                "conn.request", ("node", self.nic.node_id),
+                src=req.src_rank, dst=req.dst_rank,
+            )
         key = (req.discriminator, req.dst_rank)
         vi = self._pending_outgoing.pop(key, None)
         if vi is not None:
@@ -322,6 +328,12 @@ class ConnectionAgent:
 
     def accept(self, req: CsConnRequest, vi: VI) -> None:
         """Server accepts: connect the server VI, grant the client."""
+        tel = self.nic.telemetry
+        if tel is not None:
+            tel.instant(
+                "conn.accept", ("node", self.nic.node_id),
+                client=req.client_rank, server=req.server_rank,
+            )
         vi.mark_connect_pending()
 
         def job() -> None:
@@ -356,6 +368,12 @@ class ConnectionAgent:
                 return
             vi.mark_connected(remote_node, remote_vi_id, self.engine.now)
             self.connections_established += 1
+            tel = self.nic.telemetry
+            if tel is not None:
+                tel.instant(
+                    "conn.establish", ("node", self.nic.node_id),
+                    vi=vi.vi_id, remote_node=remote_node,
+                )
             owner = self.nic.owner_of(vi)
             owner.on_connection_established(vi)
             self.nic.release_early(vi)

@@ -50,6 +50,7 @@ class Descriptor:
         "completed_at",
         "context",
         "tel_span",
+        "flow_id",
     )
 
     def __init__(
@@ -62,6 +63,7 @@ class Descriptor:
         remote_handle: Optional[int] = None,
         remote_offset: int = 0,
         context: Any = None,
+        flow_id: int = 0,
     ):
         if op is DescriptorOp.SEND and payload is None:
             raise ValueError("SEND descriptor needs a payload (may be empty)")
@@ -85,6 +87,8 @@ class Descriptor:
         self.context = context
         #: open telemetry span (post -> completion), if the VI is traced
         self.tel_span = None
+        #: causal flow id of the MPI message this work serves (0 = untagged)
+        self.flow_id = flow_id
 
     @property
     def done(self) -> bool:

@@ -56,6 +56,8 @@ class RdmaWriteMessage:
     data: np.ndarray
     descriptor_id: int = 0
     seq: int = -1
+    #: causal flow id (RDMA carries no header to ride on; 0 = untagged)
+    flow_id: int = 0
 
     @property
     def nbytes(self) -> int:

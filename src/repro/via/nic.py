@@ -253,6 +253,7 @@ class Nic:
                     remote_offset=desc.remote_offset,
                     data=desc.payload.copy(),
                     descriptor_id=desc.descriptor_id,
+                    flow_id=desc.flow_id,
                 )
                 wire = self.profile.header_bytes + msg.nbytes
                 kind = "rdma"
@@ -265,16 +266,17 @@ class Nic:
                 vi.tx_seq += 1
                 msg.seq = vi.tx_seq
                 self._track_unacked(vi, remote_node, msg, wire, kind, plan)
-            self.network.send(
-                Packet(src=self.node_id, dst=remote_node, wire_bytes=wire,
-                       payload=msg, kind=kind)
-            )
+            pkt = Packet(src=self.node_id, dst=remote_node, wire_bytes=wire,
+                         payload=msg, kind=kind)
+            if self.telemetry is not None:
+                pkt.flow_id = desc.flow_id
+            self.network.send(pkt)
             self.messages_sent += 1
             if self.telemetry is not None:
                 start, done = self._tx_window
                 self.telemetry.complete(
                     "nic.tx", ("node", self.node_id), start, done,
-                    vi=vi.vi_id, kind=kind, bytes=wire,
+                    vi=vi.vi_id, kind=kind, bytes=wire, flow=desc.flow_id,
                 )
             desc.complete(DescriptorStatus.SUCCESS, msg.nbytes, self.engine.now)
         vi.send_cq.push(desc)
@@ -462,6 +464,7 @@ class Nic:
             self.telemetry.complete(
                 "nic.rx", ("node", self.node_id), start, done,
                 vi=msg.dst_vi_id, kind=packet.kind, bytes=packet.wire_bytes,
+                flow=packet.flow_id,
             )
         if vi is not None and vi.state is ViState.CONNECT_PENDING:
             # our side of the handshake is still in the kernel agent;

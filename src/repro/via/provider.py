@@ -221,6 +221,7 @@ class ViaProvider:
             DescriptorOp.SEND, vi.vi_id, header=header, payload=data_view
             if data_view is not None else np.empty(0, dtype=np.uint8),
             buffer=bounce, context=context,
+            flow_id=getattr(header, "flow_id", 0),
         )
         vi.enqueue_send(desc)
         self.nic.ring_doorbell(vi)
@@ -234,7 +235,7 @@ class ViaProvider:
 
     def post_rdma_write(
         self, vi: VI, payload: np.ndarray, remote_handle: int,
-        remote_offset: int = 0, context=None,
+        remote_offset: int = 0, context=None, flow_id: int = 0,
     ) -> Tuple[Descriptor, float]:
         """VipPostSend of an RDMA-write descriptor (zero copy).
 
@@ -245,7 +246,7 @@ class ViaProvider:
         desc = Descriptor(
             DescriptorOp.RDMA_WRITE, vi.vi_id, payload=payload8,
             remote_handle=remote_handle, remote_offset=remote_offset,
-            context=context,
+            context=context, flow_id=flow_id,
         )
         vi.enqueue_send(desc)
         self.nic.ring_doorbell(vi)

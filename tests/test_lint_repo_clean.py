@@ -44,6 +44,41 @@ def test_shard_package_is_lint_clean():
     assert report.ok, _explain(report)
 
 
+def test_flow_and_critpath_modules_are_lint_clean():
+    # the flow tracer and critical-path analyzer sit inside telemetry
+    # guards on the hot path; a scheduling call hiding in any of them
+    # would let observability perturb the run it observes, so they get
+    # their own targeted gate (the whole-tree gate covers them too)
+    report = _lint(
+        "src/repro/telemetry/flow.py",
+        "src/repro/telemetry/critpath.py",
+        "src/repro/bench/flow_cmd.py",
+    )
+    assert report.files_checked == 3
+    assert report.ok, _explain(report)
+
+
+def test_lint_catches_telemetry_guarded_scheduling():
+    """REPRO006 synthetic: flow-id tagging that also schedules — the
+    exact bug class the zero-overhead-when-disabled claim forbids."""
+    unsafe = (
+        "def tag(self, engine, pkt):\n"
+        "    if self.telemetry is not None:\n"
+        "        pkt.flow_id = self.telemetry.new_flow()\n"
+        "        engine.schedule(0.0, None)\n"
+    )
+    violations, _ = lint_source(unsafe, path="flowtag.py")
+    assert "REPRO006" in {v.rule_id for v in violations}
+    # the guarded recording alone is fine — only scheduling fires
+    safe = (
+        "def tag(self, pkt):\n"
+        "    if self.telemetry is not None:\n"
+        "        pkt.flow_id = self.telemetry.new_flow()\n"
+    )
+    ok_violations, _ = lint_source(safe, path="flowtag.py")
+    assert not ok_violations
+
+
 def test_lint_catches_unsafe_merge_loop_patterns():
     """The rules the shard package must stay clean of actually fire on
     the failure modes a cross-shard merge loop invites: iterating
