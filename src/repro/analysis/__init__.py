@@ -3,7 +3,7 @@
 The paper's evaluation rests on byte-identical deterministic replay;
 this package turns that from convention into an enforced property.
 
-Two halves:
+Three parts:
 
 * :mod:`repro.analysis.lint` — an AST-based **determinism lint**
   (``python -m repro.analysis lint``) that flags simulation-unsafe
@@ -11,6 +11,16 @@ Two halves:
   hash-ordered iteration feeding the scheduler, float equality on sim
   timestamps, mutable default arguments, and telemetry-guarded code
   that schedules events.
+
+* :mod:`repro.analysis.comm` — a static **communication-graph
+  analyzer** (``python -m repro.analysis comm <kernel>``) that replays
+  each kernel generator per rank through a rank-symbolic abstract
+  interpreter, predicts the connection peers the run will need, and
+  reports ``REPROC*`` diagnostics (unmatched send/recv, deadlock
+  cycles, out-of-range ranks, unresolvable destinations).  The graph
+  feeds the runtime: the ``predicted`` connection mechanism pre-opens
+  exactly those VIs during ``MPI_Init`` and the cluster scheduler's
+  VI-quota admission charges the proven degree instead of a full mesh.
 
 * :mod:`repro.analysis.sanitizers` — opt-in **runtime sanitizers**
   (``run_job(..., sanitize=SanitizerConfig())``), the DES analogue of
@@ -20,6 +30,21 @@ Two halves:
   event-for-event identical to an unsanitized one.
 """
 
+from repro.analysis.comm import (
+    AnalysisError,
+    COMM_KERNELS,
+    analyze_kernel,
+    analyze_source,
+    check_observed_subset,
+    observed_edges,
+    predicted_peers_for,
+    predicted_vi_demand,
+)
+from repro.analysis.commgraph import (
+    CommDiagnostic,
+    CommGraph,
+    REPROC_RULES,
+)
 from repro.analysis.lint import (
     LintReport,
     LintViolation,
@@ -40,6 +65,17 @@ from repro.analysis.sanitizers import (
 )
 
 __all__ = [
+    "AnalysisError",
+    "COMM_KERNELS",
+    "CommDiagnostic",
+    "CommGraph",
+    "REPROC_RULES",
+    "analyze_kernel",
+    "analyze_source",
+    "check_observed_subset",
+    "observed_edges",
+    "predicted_peers_for",
+    "predicted_vi_demand",
     "RULES",
     "LintReport",
     "LintViolation",

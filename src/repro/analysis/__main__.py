@@ -2,12 +2,19 @@
 
 Subcommands::
 
-    python -m repro.analysis lint [paths...] [--json report.json] [-q]
+    python -m repro.analysis lint [paths...] [--json report.json]
+                                  [--format {text,github}] [-q]
+    python -m repro.analysis comm <kernel> [--nprocs N] [--measure]
+                                  [--check] [--json report.json]
     python -m repro.analysis rules
 
 ``lint`` exits 0 when the tree is clean and 1 when any violation (or
 syntax error) is found; ``--json`` additionally writes the full
-machine-readable report for CI artifacts.
+machine-readable report for CI artifacts, and ``--format github`` emits
+GitHub Actions ``::error``/``::warning`` workflow annotations instead of
+plain text so findings surface inline on the PR diff.  ``comm`` runs the
+static communication-graph analyzer (see :mod:`repro.analysis.comm`) and
+exits 1 on any ``REPROC*`` diagnostic.
 """
 
 from __future__ import annotations
@@ -28,6 +35,42 @@ def _render(report: LintReport, quiet: bool) -> str:
             lines.append(violation.format())
         for err in report.parse_errors:
             lines.append(f"PARSE ERROR {err}")
+        for warning in report.warnings:
+            lines.append(f"WARNING {warning}")
+    verdict = "clean" if report.ok else f"{len(report.violations)} violation(s)"
+    lines.append(
+        f"repro.analysis lint: {report.files_checked} files, {verdict}, "
+        f"{len(report.suppressed)} suppressed"
+    )
+    return "\n".join(lines)
+
+
+def _render_github(report: LintReport) -> str:
+    """GitHub Actions workflow-command annotations (one per line).
+
+    Format reference: ``::error file={name},line={n},col={n},title={t}::{m}``.
+    Newlines inside messages would terminate the command early; rule
+    messages are single-line by construction, but escape defensively the
+    way actions/toolkit does (%, CR, LF — percent first).
+    """
+
+    def esc(text: str) -> str:
+        return (text.replace("%", "%25")
+                    .replace("\r", "%0D")
+                    .replace("\n", "%0A"))
+
+    lines: List[str] = []
+    for v in report.violations:
+        rule = RULES.get(v.rule_id)
+        title = f"{v.rule_id} {rule.name}" if rule else v.rule_id
+        lines.append(
+            f"::error file={esc(v.path)},line={v.line},col={v.col},"
+            f"title={title}::{esc(v.message)}"
+        )
+    for err in report.parse_errors:
+        lines.append(f"::error title=repro lint parse error::{esc(err)}")
+    for warning in report.warnings:
+        lines.append(f"::warning title=repro lint directive::{esc(warning)}")
     verdict = "clean" if report.ok else f"{len(report.violations)} violation(s)"
     lines.append(
         f"repro.analysis lint: {report.files_checked} files, {verdict}, "
@@ -39,7 +82,8 @@ def _render(report: LintReport, quiet: bool) -> str:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="Determinism lint and rule catalogue for the simulation tree.",
+        description="Determinism lint, comm-graph analysis, and rule "
+                    "catalogue for the simulation tree.",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -50,12 +94,26 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     lint_p.add_argument("--json", metavar="FILE",
                         help="write the machine-readable report here")
+    lint_p.add_argument("--format", choices=("text", "github"),
+                        default="text",
+                        help="output style: plain text or GitHub Actions "
+                             "::error/::warning annotations")
     lint_p.add_argument("-q", "--quiet", action="store_true",
                         help="print only the summary line")
 
+    comm_p = sub.add_parser(
+        "comm", add_help=False,
+        help="statically predict a kernel's communication graph")
+
     sub.add_parser("rules", help="list the rule catalogue")
 
-    args = parser.parse_args(argv)
+    args, rest = parser.parse_known_args(argv)
+    if args.command == "comm":
+        from repro.analysis.comm_cmd import main as comm_main
+
+        return comm_main(rest)
+    if rest:
+        parser.error(f"unrecognized arguments: {' '.join(rest)}")
     if args.command == "rules":
         for rule_id, rule in sorted(RULES.items()):
             print(f"{rule_id}  {rule.name:<22} {rule.summary}")
@@ -66,7 +124,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         with open(args.json, "w", encoding="utf-8") as fh:
             fh.write(report.to_json())
             fh.write("\n")
-    print(_render(report, args.quiet))
+    if args.format == "github":
+        print(_render_github(report))
+    else:
+        print(_render(report, args.quiet))
     return 0 if report.ok else 1
 
 

@@ -1,0 +1,730 @@
+"""Static communication-graph analysis for kernels (the paper's Table 2,
+derived from source instead of measured at runtime).
+
+``analyze_kernel("cg", nprocs=16)`` abstractly interprets the CG generator
+once per rank (:mod:`repro.analysis.interp`), expands every collective call
+into the exact per-round point-to-point footprint of
+:mod:`repro.mpi.collectives`, and folds the event streams into a
+:class:`~repro.analysis.commgraph.CommGraph` with typed diagnostics:
+
+* **REPROC01** — a send nobody receives, or a receive nobody satisfies
+  (checked by an eager matching simulation when every event is certain);
+* **REPROC02** — a wait-for cycle between blocked ranks (deadlock);
+* **REPROC03** — a concrete rank expression outside ``[0, nprocs)``;
+* **REPROC04** — an unresolvable (data-dependent) destination; the rank is
+  conservatively widened to a full mesh so the graph stays sound.
+
+The graph drives the runtime in three places: the ``predicted`` connection
+mechanism pre-establishes ``graph.peers`` during MPI_Init, VI-quota
+admission in the cluster scheduler charges ``graph.vi_demand()`` instead of
+the worst-case mesh, and the differential gate replays kernels with flow
+tracing to assert observed edges are a subset of the predicted ones.
+"""
+
+from __future__ import annotations
+
+import importlib
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.commgraph import (
+    CollEvent,
+    CommDiagnostic,
+    CommGraph,
+    EdgeStat,
+    Event,
+    MsgEvent,
+)
+from repro.analysis.interp import (
+    AnalysisError,
+    Budget,
+    Interp,
+    MpiProxy,
+)
+
+__all__ = [
+    "KernelSpec",
+    "COMM_KERNELS",
+    "AnalysisError",
+    "analyze_kernel",
+    "analyze_source",
+    "predicted_peers_for",
+    "predicted_vi_demand",
+    "observed_edges",
+    "check_observed_subset",
+]
+
+
+@dataclass(frozen=True)
+class KernelSpec:
+    """How to instantiate one analyzable kernel program."""
+
+    module: str
+    factory: str
+    #: keyword arguments passed to the factory (hashable pairs)
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    #: whether the factory takes ``npb_class`` as its first argument
+    npb_class_arg: bool = False
+
+
+#: Every kernel the analyzer knows how to build.  The micro entries mirror
+#: ``repro.cluster.workload.CLUSTER_KERNELS`` factory arguments exactly, so
+#: scheduler admission for those jobs can use the analyzed graph.
+COMM_KERNELS: Dict[str, KernelSpec] = {
+    # NPB kernels (factory(npb_class))
+    "cg": KernelSpec("repro.apps.npb.cg", "make_cg", npb_class_arg=True),
+    "mg": KernelSpec("repro.apps.npb.mg", "make_mg", npb_class_arg=True),
+    "is": KernelSpec("repro.apps.npb.is_", "make_is", npb_class_arg=True),
+    "ep": KernelSpec("repro.apps.npb.ep", "make_ep", npb_class_arg=True),
+    "sp": KernelSpec("repro.apps.npb.sp", "make_sp", npb_class_arg=True),
+    "bt": KernelSpec("repro.apps.npb.sp", "make_bt", npb_class_arg=True),
+    "ft": KernelSpec("repro.apps.npb.ft", "make_ft", npb_class_arg=True),
+    "lu": KernelSpec("repro.apps.npb.lu", "make_lu", npb_class_arg=True),
+    # micro kernels with the cluster-workload parameterization
+    "pingpong": KernelSpec(
+        "repro.apps.micro", "pingpong",
+        kwargs=(("sizes", (64,)), ("iterations", 3), ("warmup", 1))),
+    "ring": KernelSpec(
+        "repro.apps.micro", "ring",
+        kwargs=(("rounds", 3), ("elements", 32))),
+    "alltoall": KernelSpec(
+        "repro.apps.micro", "alltoall_loop",
+        kwargs=(("iterations", 3), ("elements_per_peer", 2))),
+    "allreduce": KernelSpec(
+        "repro.apps.micro", "allreduce_latency",
+        kwargs=(("iterations", 3), ("elements", 4))),
+    "barrier": KernelSpec(
+        "repro.apps.micro", "barrier_latency",
+        kwargs=(("iterations", 5),)),
+    # ASCI communication-pattern generators
+    "sppm": KernelSpec("repro.apps.patterns.generators", "make_sppm"),
+    "smg2000": KernelSpec("repro.apps.patterns.generators", "make_smg2000"),
+    "sphot": KernelSpec("repro.apps.patterns.generators", "make_sphot"),
+    "sweep3d": KernelSpec("repro.apps.patterns.generators", "make_sweep3d"),
+    "samrai": KernelSpec("repro.apps.patterns.generators", "make_samrai"),
+}
+
+
+# ------------------------------------------------------------------------
+# collective footprints: exact mirrors of repro.mpi.collectives
+# ------------------------------------------------------------------------
+
+#: one expanded sub-operation: (op, peer, nbytes) in program order
+FootOp = Tuple[str, int, Optional[int]]
+
+
+def _floor_pow2(n: int) -> int:
+    p = 1
+    while p * 2 <= n:
+        p *= 2
+    return p
+
+
+def _barrier_like(rank: int, size: int, nbytes: Optional[int],
+                  zero_token: bool) -> List[FootOp]:
+    """barrier (zero-byte token) and allreduce share their structure."""
+    ops: List[FootOp] = []
+    if size == 1:
+        return ops
+    nb: Optional[int] = 0 if zero_token else nbytes
+    m = _floor_pow2(size)
+    rest = size - m
+    if rank >= m:
+        ops.append(("send", rank - m, nb))
+        ops.append(("recv", rank - m, nb))
+        return ops
+    if rank < rest:
+        ops.append(("recv", rank + m, nb))
+    mask = 1
+    while mask < m:
+        partner = rank ^ mask
+        ops.append(("send", partner, nb))
+        ops.append(("recv", partner, nb))
+        mask *= 2
+    if rank < rest:
+        ops.append(("send", rank + m, nb))
+    return ops
+
+
+def _bcast_foot(rank: int, size: int, root: int,
+                nbytes: Optional[int]) -> List[FootOp]:
+    ops: List[FootOp] = []
+    if size == 1:
+        return ops
+    relrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            parent = (relrank - mask + root) % size
+            ops.append(("recv", parent, nbytes))
+            break
+        mask *= 2
+    mask //= 2
+    while mask >= 1:
+        child_rel = relrank + mask
+        if child_rel < size:
+            ops.append(("send", (child_rel + root) % size, nbytes))
+        mask //= 2
+    return ops
+
+
+def _reduce_foot(rank: int, size: int, root: int,
+                 nbytes: Optional[int]) -> List[FootOp]:
+    ops: List[FootOp] = []
+    if size == 1:
+        return ops
+    relrank = (rank - root) % size
+    mask = 1
+    while mask < size:
+        if relrank & mask:
+            parent = (relrank & ~mask) % size
+            ops.append(("send", (parent + root) % size, nbytes))
+            break
+        child_rel = relrank | mask
+        if child_rel < size:
+            ops.append(("recv", (child_rel + root) % size, nbytes))
+        mask *= 2
+    return ops
+
+
+def _allgather_foot(rank: int, size: int,
+                    block: Optional[int]) -> List[FootOp]:
+    ops: List[FootOp] = []
+    if size == 1:
+        return ops
+    if size == _floor_pow2(size):
+        mask = 1
+        while mask < size:
+            partner = rank ^ mask
+            nb = None if block is None else block * mask
+            ops.append(("send", partner, nb))
+            ops.append(("recv", partner, nb))
+            mask *= 2
+    else:
+        left = (rank - 1) % size
+        right = (rank + 1) % size
+        for _step in range(size - 1):
+            ops.append(("send", right, block))
+            ops.append(("recv", left, block))
+    return ops
+
+
+def _alltoall_foot(rank: int, size: int,
+                   total: Optional[int]) -> List[FootOp]:
+    ops: List[FootOp] = []
+    block = None if total is None else total // size
+    pow2 = size == _floor_pow2(size)
+    for step in range(1, size):
+        if pow2:
+            send_to = recv_from = rank ^ step
+        else:
+            send_to = (rank + step) % size
+            recv_from = (rank - step) % size
+        ops.append(("send", send_to, block))
+        ops.append(("recv", recv_from, block))
+    return ops
+
+
+def _alltoallv_foot(rank: int, size: int) -> List[FootOp]:
+    ops: List[FootOp] = []
+    for step in range(1, size):
+        ops.append(("send", (rank + step) % size, None))
+        ops.append(("recv", (rank - step) % size, None))
+    return ops
+
+
+def _gather_foot(rank: int, size: int, root: int,
+                 block: Optional[int]) -> List[FootOp]:
+    ops: List[FootOp] = []
+    if size == 1:
+        return ops
+    if rank == root:
+        for src in range(size):
+            if src != rank:
+                ops.append(("recv", src, block))
+    else:
+        ops.append(("send", root, block))
+    return ops
+
+
+def _scatter_foot(rank: int, size: int, root: int,
+                  nbytes: Optional[int]) -> List[FootOp]:
+    ops: List[FootOp] = []
+    if size == 1:
+        return ops
+    if rank == root:
+        block = None if nbytes is None else nbytes // size
+        for dst in range(size):
+            if dst != rank:
+                ops.append(("send", dst, block))
+    else:
+        ops.append(("recv", root, nbytes))
+    return ops
+
+
+def coll_footprint(kind: str, rank: int, size: int, root: Optional[int],
+                   nbytes: Optional[int]) -> Optional[List[FootOp]]:
+    """Ordered p2p sub-ops of one collective call for one rank, mirroring
+    ``repro.mpi.collectives`` round for round.  None if the root rank is
+    needed but unresolvable (caller widens)."""
+    if kind == "barrier":
+        return _barrier_like(rank, size, nbytes, zero_token=True)
+    if kind == "allreduce":
+        return _barrier_like(rank, size, nbytes, zero_token=False)
+    if kind == "allgather":
+        return _allgather_foot(rank, size, nbytes)
+    if kind == "alltoall":
+        return _alltoall_foot(rank, size, nbytes)
+    if kind == "alltoallv":
+        return _alltoallv_foot(rank, size)
+    if kind in ("bcast", "reduce", "gather", "scatter"):
+        if root is None:
+            return None
+        if kind == "bcast":
+            return _bcast_foot(rank, size, root, nbytes)
+        if kind == "reduce":
+            return _reduce_foot(rank, size, root, nbytes)
+        if kind == "gather":
+            return _gather_foot(rank, size, root, nbytes)
+        return _scatter_foot(rank, size, root, nbytes)
+    return None
+
+
+# ------------------------------------------------------------------------
+# per-rank abstract interpretation
+# ------------------------------------------------------------------------
+
+def _run_rank(spec: KernelSpec, rank: int, nprocs: int,
+              npb_class: Optional[str],
+              extra_sources: Optional[Dict[str, str]] = None,
+              budget_ops: int = 5_000_000) -> List[Event]:
+    interp = Interp(budget=Budget(budget_ops), extra_sources=extra_sources)
+    factory = interp.load_program(spec.module, spec.factory)
+    args: Tuple[Any, ...] = ()
+    if spec.npb_class_arg and npb_class is not None:
+        args = (npb_class,)
+    program = interp.call_value(factory, args, dict(spec.kwargs))
+    mpi = MpiProxy(rank, nprocs)
+    interp.run_program(program, mpi)
+    return mpi.events
+
+
+# ------------------------------------------------------------------------
+# matching simulation (REPROC01 / REPROC02)
+# ------------------------------------------------------------------------
+
+#: one matchable op: (op, peer-or-None, tagkey-or-None, line)
+_SimOp = Tuple[str, Optional[int], Any, Optional[int]]
+
+
+def _sim_ops(events: Sequence[Event], rank: int, size: int) -> List[_SimOp]:
+    """Flatten one rank's events for the matching simulation: collectives
+    expand to their exact sub-ops with per-instance synthetic tags."""
+    ops: List[_SimOp] = []
+    coll_seq: Dict[str, int] = {}
+    for event in events:
+        if isinstance(event, CollEvent):
+            index = coll_seq.get(event.kind, 0)
+            coll_seq[event.kind] = index + 1
+            foot = coll_footprint(event.kind, rank, size, event.root,
+                                  event.nbytes)
+            if foot is None:
+                continue
+            tag = ("coll", event.kind, index)
+            for op, peer, _nb in foot:
+                ops.append((op, peer, tag, event.line))
+        elif event.op in ("send", "recv"):
+            ops.append((event.op, None if event.wildcard else event.peer,
+                        event.tag, event.line))
+    return ops
+
+
+def _match_events(per_rank: Sequence[Sequence[Event]],
+                  size: int) -> List[CommDiagnostic]:
+    """Eagerly simulate message matching; report REPROC01/REPROC02."""
+    ops = [_sim_ops(events, rank, size)
+           for rank, events in enumerate(per_rank)]
+    ptr = [0] * size
+    # in-flight multiset of unreceived sends: (src, dst, tag) -> count
+    flight: Dict[Tuple[int, int, Any], int] = {}
+    seq = 0  # insertion order for deterministic wildcard matching
+    order: Dict[Tuple[int, int, Any], int] = {}
+
+    def try_recv(dst: int, src: Optional[int], tag: Any) -> bool:
+        candidates = []
+        for (fsrc, fdst, ftag), count in flight.items():
+            if count <= 0 or fdst != dst:
+                continue
+            if src is not None and fsrc != src:
+                continue
+            if tag is not None:
+                # a send tag of None means "not statically known": assume
+                # it can match rather than fabricate an unmatched pair
+                if ftag is not None and ftag != tag:
+                    continue
+            else:
+                # ANY_TAG matches user tags only, never collective internals
+                if isinstance(ftag, tuple):
+                    continue
+            candidates.append((order[(fsrc, fdst, ftag)], (fsrc, fdst, ftag)))
+        if not candidates:
+            return False
+        candidates.sort()
+        key = candidates[0][1]
+        flight[key] -= 1
+        return True
+
+    progressed = True
+    while progressed:
+        progressed = False
+        for rank in range(size):
+            while ptr[rank] < len(ops[rank]):
+                op, peer, tag, _line = ops[rank][ptr[rank]]
+                if op == "send":
+                    if peer is None:
+                        ptr[rank] += 1  # unknown dest: not matchable
+                        continue
+                    key = (rank, peer, tag)
+                    flight[key] = flight.get(key, 0) + 1
+                    if key not in order:
+                        order[key] = seq
+                        seq += 1
+                    ptr[rank] += 1
+                    progressed = True
+                    continue
+                if try_recv(rank, peer, tag):
+                    ptr[rank] += 1
+                    progressed = True
+                    continue
+                break  # blocked
+
+    diags: List[CommDiagnostic] = []
+    stuck = [r for r in range(size) if ptr[r] < len(ops[r])]
+    if stuck:
+        waits: Dict[int, Optional[int]] = {}
+        lines: Dict[int, Optional[int]] = {}
+        for r in stuck:
+            _op, peer, _tag, line = ops[r][ptr[r]]
+            waits[r] = peer
+            lines[r] = line
+        cycle_ranks = _find_cycle(waits)
+        if cycle_ranks:
+            path = " -> ".join(str(r) for r in cycle_ranks)
+            diags.append(CommDiagnostic(
+                code="REPROC02",
+                message=f"wait-for deadlock cycle: {path}",
+                rank=cycle_ranks[0], line=lines.get(cycle_ranks[0])))
+        for r in stuck:
+            if cycle_ranks and r in cycle_ranks:
+                continue
+            peer = waits[r]
+            who = "any source" if peer is None else f"rank {peer}"
+            diags.append(CommDiagnostic(
+                code="REPROC01",
+                message=f"recv from {who} is never satisfied",
+                rank=r, line=lines[r]))
+    else:
+        leftovers = sorted(
+            (src, dst) for (src, dst, _tag), count in flight.items()
+            if count > 0)
+        seen: Set[Tuple[int, int]] = set()
+        for src, dst in leftovers:
+            if (src, dst) in seen:
+                continue
+            seen.add((src, dst))
+            diags.append(CommDiagnostic(
+                code="REPROC01",
+                message=f"send from rank {src} to rank {dst} "
+                        "is never received",
+                rank=src, line=None))
+    return diags
+
+
+def _find_cycle(waits: Dict[int, Optional[int]]) -> List[int]:
+    """Smallest wait-for cycle (each rank waits on at most one peer)."""
+    best: List[int] = []
+    for start in sorted(waits):
+        path = [start]
+        seen = {start}
+        current = waits.get(start)
+        while current is not None and current in waits:
+            if current in seen:
+                if current == start and (not best or len(path) < len(best)):
+                    best = list(path)
+                break
+            path.append(current)
+            seen.add(current)
+            current = waits.get(current)
+    return best
+
+
+# ------------------------------------------------------------------------
+# graph construction
+# ------------------------------------------------------------------------
+
+def _build_graph(kernel: str, nprocs: int, params: Dict[str, Any],
+                 per_rank: Sequence[List[Event]]) -> CommGraph:
+    diags: List[CommDiagnostic] = []
+    widened: Set[int] = set()
+    all_certain = True
+    # per-edge aggregates; None bytes means "size not statically known"
+    edge_counts: Dict[Tuple[int, int], int] = {}
+    edge_min: Dict[Tuple[int, int], Optional[int]] = {}
+    edge_max: Dict[Tuple[int, int], Optional[int]] = {}
+    peers: List[Set[int]] = [set() for _ in range(nprocs)]
+    send_dests: List[Set[int]] = [set() for _ in range(nprocs)]
+    collectives: Dict[str, int] = {}
+    seen_r3: Set[Tuple[int, Optional[int]]] = set()
+    seen_r4: Set[Tuple[int, Optional[int]]] = set()
+
+    def add_edge(src: int, dst: int, nbytes: Optional[int]) -> None:
+        key = (src, dst)
+        count = edge_counts.get(key, 0)
+        edge_counts[key] = count + 1
+        if count == 0:
+            edge_min[key] = nbytes
+            edge_max[key] = nbytes
+        else:
+            lo, hi = edge_min[key], edge_max[key]
+            # a message of unknown size poisons both bounds
+            edge_min[key] = None if (nbytes is None or lo is None) \
+                else min(lo, nbytes)
+            edge_max[key] = None if (nbytes is None or hi is None) \
+                else max(hi, nbytes)
+
+    def widen(rank: int, line: Optional[int], why: str,
+              diagnostic: bool) -> None:
+        if diagnostic and (rank, line) not in seen_r4:
+            seen_r4.add((rank, line))
+            diags.append(CommDiagnostic(
+                code="REPROC04", message=why, rank=rank, line=line))
+        widened.add(rank)
+
+    for rank, events in enumerate(per_rank):
+        for event in events:
+            if not event.certain:
+                all_certain = False
+            if isinstance(event, CollEvent):
+                if rank == 0:
+                    collectives[event.kind] = \
+                        collectives.get(event.kind, 0) + 1
+                foot = coll_footprint(event.kind, rank, nprocs, event.root,
+                                      event.nbytes)
+                if foot is None:
+                    widen(rank, event.line,
+                          f"{event.kind} root is data-dependent; "
+                          f"widening rank {rank} to full mesh",
+                          diagnostic=True)
+                    all_certain = False
+                    continue
+                for op, peer, nbytes in foot:
+                    if peer == rank:
+                        continue
+                    peers[rank].add(peer)
+                    if op == "send":
+                        send_dests[rank].add(peer)
+                        add_edge(rank, peer, nbytes)
+                continue
+            # point-to-point / probe events
+            if event.peer is None:
+                if event.wildcard:
+                    # ANY_SOURCE: the on-demand manager connects every
+                    # peer when a wildcard recv posts (MVICH §3.5), so
+                    # prediction must too — benign, but full fan-in
+                    widen(rank, event.line,
+                          "wildcard receive", diagnostic=False)
+                else:
+                    all_certain = False
+                    widen(rank, event.line,
+                          f"{event.op} peer is unresolvable at rank "
+                          f"{rank}; widening to full mesh",
+                          diagnostic=True)
+                continue
+            if not (0 <= event.peer < nprocs):
+                if (rank, event.line) not in seen_r3:
+                    seen_r3.add((rank, event.line))
+                    qualifier = "" if event.certain else "conditionally "
+                    diags.append(CommDiagnostic(
+                        code="REPROC03",
+                        message=f"{event.op} targets rank {event.peer}, "
+                                f"{qualifier}out of range for "
+                                f"nprocs={nprocs}",
+                        rank=rank, line=event.line))
+                continue
+            if event.peer == rank:
+                if event.op == "send":
+                    # MPICH-style self short-circuit: a message edge but
+                    # no VI, so it joins edges/send_dests but not peers
+                    send_dests[rank].add(rank)
+                    add_edge(rank, rank, event.nbytes)
+                continue
+            peers[rank].add(event.peer)
+            if event.op == "send":
+                send_dests[rank].add(event.peer)
+                add_edge(rank, event.peer, event.nbytes)
+
+    # symmetric closure: the VIA handshake needs both endpoints to request
+    for rank in range(nprocs):
+        for peer in sorted(peers[rank]):
+            peers[peer].add(rank)
+    # widening: full mesh for widened ranks, symmetric
+    for rank in sorted(widened):
+        peers[rank] = set(range(nprocs)) - {rank}
+        for other in range(nprocs):
+            if other != rank:
+                peers[other].add(rank)
+
+    has_unknown_peer = any(d.code == "REPROC04" for d in diags)
+    matching_checked = all_certain and not has_unknown_peer
+    if matching_checked:
+        diags.extend(_match_events(per_rank, nprocs))
+
+    out_of_range = {(s, d) for (s, d) in edge_counts
+                    if not (0 <= d < nprocs)}
+    edges = tuple(
+        EdgeStat(src=s, dst=d, count=edge_counts[(s, d)],
+                 min_bytes=edge_min[(s, d)], max_bytes=edge_max[(s, d)])
+        for (s, d) in sorted(edge_counts)
+        if (s, d) not in out_of_range)
+
+    params = dict(params)
+    params["matching_checked"] = matching_checked
+    code_order = {"REPROC01": 1, "REPROC02": 2, "REPROC03": 3, "REPROC04": 4}
+    diags.sort(key=lambda d: (code_order.get(d.code, 9),
+                              -1 if d.rank is None else d.rank,
+                              -1 if d.line is None else d.line))
+    return CommGraph(
+        kernel=kernel,
+        nprocs=nprocs,
+        params=params,
+        peers=tuple(tuple(sorted(p)) for p in peers),
+        send_dests=tuple(tuple(sorted(d)) for d in send_dests),
+        edges=edges,
+        collectives=collectives,
+        diagnostics=tuple(diags),
+        widened_ranks=tuple(sorted(widened)),
+    )
+
+
+# ------------------------------------------------------------------------
+# public API
+# ------------------------------------------------------------------------
+
+def analyze_kernel(kernel: str, nprocs: int,
+                   npb_class: str = "S") -> CommGraph:
+    """Statically predict the communication graph of a registered kernel."""
+    if nprocs < 1:
+        raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    spec = COMM_KERNELS.get(kernel)
+    if spec is None:
+        known = ", ".join(sorted(COMM_KERNELS))
+        raise KeyError(f"unknown kernel {kernel!r} (known: {known})")
+    per_rank = [
+        _run_rank(spec, rank, nprocs,
+                  npb_class if spec.npb_class_arg else None)
+        for rank in range(nprocs)
+    ]
+    params: Dict[str, Any] = dict(spec.kwargs)
+    if spec.npb_class_arg:
+        params["npb_class"] = npb_class
+    return _build_graph(kernel, nprocs, params, per_rank)
+
+
+def analyze_source(source: str, factory: str, nprocs: int,
+                   kwargs: Optional[Dict[str, Any]] = None,
+                   module_name: str = "commtest",
+                   kernel: str = "<source>") -> CommGraph:
+    """Analyze an in-memory kernel source (for tests and ad-hoc checks)."""
+    spec = KernelSpec(module=module_name, factory=factory,
+                      kwargs=tuple(sorted((kwargs or {}).items())))
+    per_rank = [
+        _run_rank(spec, rank, nprocs, None,
+                  extra_sources={module_name: source})
+        for rank in range(nprocs)
+    ]
+    return _build_graph(kernel, nprocs, dict(spec.kwargs), per_rank)
+
+
+@lru_cache(maxsize=256)
+def _cached_graph(kernel: str, nprocs: int, npb_class: str) -> CommGraph:
+    return analyze_kernel(kernel, nprocs, npb_class=npb_class)
+
+
+def predicted_peers_for(kernel: str, nprocs: int,
+                        npb_class: str = "S") -> Tuple[Tuple[int, ...], ...]:
+    """Per-rank connection peers for ``MpiConfig.predicted_peers``."""
+    return _cached_graph(kernel, nprocs, npb_class).peers
+
+
+def predicted_vi_demand(kernel: str, nprocs: int,
+                        npb_class: str = "S") -> int:
+    """VIs per process the analyzed graph proves sufficient (max degree)."""
+    return _cached_graph(kernel, nprocs, npb_class).vi_demand()
+
+
+def observed_edges(critpath_report: Any) -> Set[Tuple[int, int]]:
+    """Directed (src, dst) pairs observed by PR 7 flow tracing."""
+    return {(flow.src, flow.dst) for flow in critpath_report.flows}
+
+
+def check_observed_subset(
+    kernel: str,
+    nprocs: int,
+    npb_class: str = "S",
+    nodes: Optional[int] = None,
+    ppn: int = 1,
+    profile: str = "clan",
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Differential gate: replay a kernel with flow tracing (on-demand
+    connections) and check observed edges against the predicted graph.
+
+    Self-edges never touch the connection layer, so an observed self flow
+    checks against ``send_dests``; every cross-rank flow must land inside
+    the predicted symmetric peer set.
+    """
+    # imported lazily: analysis must stay importable without the simulator
+    from repro.cluster.job import run_job
+    from repro.cluster.spec import ClusterSpec
+    from repro.mpi.config import MpiConfig
+    from repro.telemetry import TelemetryConfig
+    from repro.via.profiles import profile_by_name
+
+    graph = _cached_graph(kernel, nprocs, npb_class)
+    spec = COMM_KERNELS[kernel]
+    factory_kwargs = dict(spec.kwargs)
+    module = importlib.import_module(spec.module)
+    factory = getattr(module, spec.factory)
+    if spec.npb_class_arg:
+        program = factory(npb_class, **factory_kwargs)
+    else:
+        program = factory(**factory_kwargs)
+    cluster = ClusterSpec(
+        nodes=nodes if nodes is not None else nprocs, ppn=ppn,
+        profile=profile_by_name(profile), seed=seed,
+    )
+    result = run_job(
+        cluster, nprocs, program,
+        config=MpiConfig(connection="ondemand"),
+        telemetry=TelemetryConfig(),
+    )
+    report = result.critical_path()
+    observed = observed_edges(report)
+    violations = sorted(
+        (src, dst) for (src, dst) in observed
+        if (dst not in graph.peers[src] if src != dst
+            else src not in graph.send_dests[src]))
+    return {
+        "kernel": kernel,
+        "nprocs": nprocs,
+        "npb_class": npb_class if spec.npb_class_arg else None,
+        "seed": seed,
+        "observed_edges": sorted(observed),
+        "predicted_max_degree": graph.max_degree,
+        "observed_max_out_degree": max(
+            (len({d for (s, d) in observed if s == r and d != r})
+             for r in range(nprocs)), default=0),
+        "violations": violations,
+        "ok": not violations,
+    }

@@ -1,0 +1,2042 @@
+"""Rank-symbolic abstract interpreter for kernel generators.
+
+``repro`` kernels are plain-Python generator factories: ``make_cg("S")``
+returns ``prog(mpi)`` whose body mixes numpy compute with MPI facade calls.
+To predict the communication graph *statically* we execute that AST once per
+rank with ``rank``/``size`` bound to concrete integers while everything
+data-dependent stays abstract:
+
+* Fully-concrete operations delegate to real Python/numpy — ``(rank + 1) %
+  size``, ``rank ^ (1 << k)``, ``int(np.sqrt(size))``, ``process_grid(p)``
+  all evaluate exactly.
+* Random draws return :class:`AbstractArray` (shape/dtype known, contents
+  unknown) or :data:`UNKNOWN`; arithmetic with unknowns stays unknown, so a
+  destination derived from data (``partners[int(draw)]``) is reported as
+  unresolvable (REPROC04) instead of being guessed.
+* A branch on an unknown condition runs *both* arms (events flagged
+  uncertain, stores joined); a loop over an unknown iterable runs its body
+  once under uncertainty and then havocs every name the body assigns.
+
+The interpreter never imports kernel modules for execution side effects:
+``repro.apps.*`` sources are parsed and interpreted from their ASTs; only
+leaf helpers (``repro.mpi.constants``, ``repro.apps.npb.common``) and numpy
+are used for real.  MPI facade calls are intercepted by :class:`MpiProxy`,
+which records :class:`~repro.analysis.commgraph.MsgEvent` /
+:class:`~repro.analysis.commgraph.CollEvent` streams for the graph builder in
+:mod:`repro.analysis.comm`.
+"""
+
+from __future__ import annotations
+
+import ast
+import builtins
+import importlib
+import importlib.util
+from collections.abc import Iterator
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.analysis.commgraph import CollEvent, Event, MsgEvent
+from repro.mpi.constants import ANY_SOURCE, ANY_TAG
+
+__all__ = [
+    "UNKNOWN",
+    "AbstractArray",
+    "AnalysisError",
+    "BudgetExceeded",
+    "Interp",
+    "MpiProxy",
+]
+
+
+class AnalysisError(Exception):
+    """The kernel source could not be analyzed (unsupported construct,
+    certain runtime error on the interpreted path, or budget blown)."""
+
+
+class BudgetExceeded(AnalysisError):
+    """The per-rank abstract-interpretation budget ran out."""
+
+
+class _Unknown:
+    """Singleton bottom/top value: 'some value we cannot resolve'."""
+
+    _instance: Optional["_Unknown"] = None
+
+    def __new__(cls) -> "_Unknown":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "UNKNOWN"
+
+
+UNKNOWN = _Unknown()
+
+_DTYPE_ORDER = ("bool", "uint8", "int32", "int64", "float32", "float64",
+                "complex64", "complex128")
+_ITEMSIZE = {"bool": 1, "uint8": 1, "int8": 1, "int32": 4, "uint32": 4,
+             "int64": 8, "uint64": 8, "float32": 4, "float64": 8,
+             "complex64": 8, "complex128": 16}
+
+
+def _dtype_name(dtype: Any) -> str:
+    """Normalize a dtype-ish value (str, np.dtype, python type) to a name."""
+    if isinstance(dtype, str):
+        return dtype
+    if dtype is float:
+        return "float64"
+    if dtype is int:
+        return "int64"
+    if dtype is bool:
+        return "bool"
+    if dtype is complex:
+        return "complex128"
+    try:
+        return str(np.dtype(dtype))
+    except Exception:
+        return "float64"
+
+
+def _promote(a: str, b: str) -> str:
+    ia = _DTYPE_ORDER.index(a) if a in _DTYPE_ORDER else _DTYPE_ORDER.index("float64")
+    ib = _DTYPE_ORDER.index(b) if b in _DTYPE_ORDER else _DTYPE_ORDER.index("float64")
+    return _DTYPE_ORDER[max(ia, ib)]
+
+
+Shape = Optional[Tuple[int, ...]]
+
+
+def _broadcast(s1: Shape, s2: Shape) -> Shape:
+    if s1 is None or s2 is None:
+        return None
+    out: List[int] = []
+    for d1, d2 in zip(reversed((1,) * max(0, len(s2) - len(s1)) + s1),
+                      reversed((1,) * max(0, len(s1) - len(s2)) + s2)):
+        if d1 == d2 or d2 == 1:
+            out.append(d1)
+        elif d1 == 1:
+            out.append(d2)
+        else:
+            return None
+    return tuple(reversed(out))
+
+
+class AbstractArray:
+    """An ndarray whose shape/dtype are (possibly) known but contents are not."""
+
+    __slots__ = ("shape", "dtype")
+
+    def __init__(self, shape: Shape, dtype: str = "float64") -> None:
+        self.shape = tuple(int(d) for d in shape) if shape is not None else None
+        self.dtype = dtype
+
+    def __repr__(self) -> str:
+        return f"AbstractArray(shape={self.shape}, dtype={self.dtype})"
+
+    @property
+    def ndim(self) -> Optional[int]:
+        return None if self.shape is None else len(self.shape)
+
+    @property
+    def size(self) -> Optional[int]:
+        if self.shape is None:
+            return None
+        n = 1
+        for d in self.shape:
+            n *= d
+        return n
+
+    @property
+    def itemsize(self) -> int:
+        return _ITEMSIZE.get(self.dtype, 8)
+
+    @property
+    def nbytes(self) -> Optional[int]:
+        return None if self.size is None else self.size * self.itemsize
+
+
+class RngVal:
+    """Abstract ``np.random.Generator``: draws have known shapes, unknown
+    contents — data-dependence must never leak into rank expressions."""
+
+    __slots__ = ()
+
+    _FLOAT = {"standard_normal", "random", "uniform", "normal",
+              "exponential", "standard_exponential"}
+    _INT = {"integers", "permutation", "choice"}
+
+    def call(self, method: str, args: Tuple[Any, ...],
+             kwargs: Dict[str, Any]) -> Any:
+        shape: Shape = None
+        if method in ("standard_normal", "standard_exponential", "permutation"):
+            shape = _as_shape(args[0]) if args else None
+        elif method == "random":
+            shape = _as_shape(args[0]) if args else None
+        elif method in ("uniform", "normal", "exponential"):
+            size = kwargs.get("size", args[2] if len(args) > 2 else None)
+            shape = _as_shape(size)
+        elif method in ("integers", "choice"):
+            size = kwargs.get("size")
+            if size is None and method == "integers" and len(args) > 2:
+                size = args[2]
+            shape = _as_shape(size)
+        if method in self._INT:
+            dtype = _dtype_name(kwargs.get("dtype", "int64"))
+            return AbstractArray(shape, dtype) if shape is not None else UNKNOWN
+        if method in self._FLOAT:
+            return AbstractArray(shape, "float64") if shape is not None else UNKNOWN
+        if method == "shuffle":
+            return None
+        return UNKNOWN
+
+
+def _nested_shape(value: Any) -> Shape:
+    """Shape of a nested list/tuple the way ``np.array`` would see it;
+    None as soon as the structure is ragged or an element is abstract."""
+    if isinstance(value, (list, tuple)):
+        if not value:
+            return (0,)
+        inner = [_nested_shape(v) for v in value]
+        head = inner[0]
+        if head is None or any(s != head for s in inner[1:]):
+            return None
+        return (len(value),) + head
+    if isinstance(value, AbstractArray):
+        return value.shape
+    if isinstance(value, np.ndarray):
+        return tuple(value.shape)
+    if isinstance(value, (int, float, complex, bool, np.generic)):
+        return ()
+    return None
+
+
+def _as_shape(size: Any) -> Shape:
+    if isinstance(size, bool):
+        return None
+    if isinstance(size, int):
+        return (size,)
+    if isinstance(size, (tuple, list)) and all(
+            isinstance(d, int) and not isinstance(d, bool) for d in size):
+        return tuple(int(d) for d in size)
+    return None
+
+
+class NumpyVal:
+    """Proxy for the numpy module inside interpreted code."""
+
+    __slots__ = ("path",)
+
+    def __init__(self, path: str = "") -> None:
+        self.path = path
+
+    def attr(self, name: str) -> Any:
+        sub = f"{self.path}.{name}" if self.path else name
+        if sub in ("pi", "e", "inf", "nan", "newaxis"):
+            return getattr(np, name)
+        if sub in ("float64", "float32", "int64", "int32", "uint8", "bool_",
+                   "complex128", "complex64", "intp"):
+            return DtypeVal(_dtype_name(sub.rstrip("_")))
+        if sub in ("random", "fft", "linalg", "add"):
+            return NumpyVal(sub)
+        return NpFunc(sub)
+
+
+class NpFunc:
+    """A numpy callable referenced from interpreted code, by dotted name."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class DtypeVal:
+    """A dtype object (``np.float64`` used as value or cast)."""
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+
+class FuncVal:
+    """An interpreted function/lambda with its defining environment."""
+
+    __slots__ = ("name", "node", "env", "pos_defaults", "kw_defaults")
+
+    def __init__(self, name: str, node: Any, env: "Env",
+                 pos_defaults: Tuple[Any, ...],
+                 kw_defaults: Dict[str, Any]) -> None:
+        self.name = name
+        self.node = node
+        self.env = env
+        self.pos_defaults = pos_defaults
+        self.kw_defaults = kw_defaults
+
+
+class ModuleProxy:
+    """An interpreted ``repro.apps`` module: attributes live in its env."""
+
+    __slots__ = ("dotted", "env")
+
+    def __init__(self, dotted: str, env: "Env") -> None:
+        self.dotted = dotted
+        self.env = env
+
+
+class UnknownIter:
+    """An iterable of unknown length/content (e.g. ``zip`` over abstracts)."""
+
+    __slots__ = ()
+
+
+_WRAPPERS = (_Unknown, AbstractArray, RngVal, NumpyVal, NpFunc, DtypeVal,
+             FuncVal, ModuleProxy, UnknownIter)
+
+
+def is_concrete(value: Any, _depth: int = 0) -> bool:
+    """True when ``value`` is plain Python data safe to hand to real code."""
+    if _depth > 6:
+        return False
+    if isinstance(value, _WRAPPERS) or isinstance(value, MpiProxy):
+        return False
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return all(is_concrete(v, _depth + 1) for v in value)
+    if isinstance(value, dict):
+        return all(is_concrete(k, _depth + 1) and is_concrete(v, _depth + 1)
+                   for k, v in value.items())
+    return True
+
+
+def _as_int(value: Any) -> Optional[int]:
+    """Concrete integer view of a value, else None."""
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    return None
+
+
+def _nbytes_of(value: Any) -> Optional[int]:
+    if value is None:
+        return 0
+    if isinstance(value, AbstractArray):
+        return value.nbytes
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (bytes, bytearray)):
+        return len(value)
+    if isinstance(value, (bool, np.bool_)):
+        return 1
+    if isinstance(value, (int, float, np.integer, np.floating)):
+        return 8
+    if isinstance(value, complex):
+        return 16
+    return None
+
+
+# --------------------------------------------------------------- signals ---
+
+
+class _Signal(Exception):
+    pass
+
+
+class BreakSignal(_Signal):
+    pass
+
+
+class ContinueSignal(_Signal):
+    pass
+
+
+class ReturnSignal(_Signal):
+    def __init__(self, value: Any) -> None:
+        super().__init__()
+        self.value = value
+
+
+class RaiseSignal(_Signal):
+    def __init__(self, detail: str, line: Optional[int]) -> None:
+        super().__init__(detail)
+        self.detail = detail
+        self.line = line
+
+
+# ----------------------------------------------------------- environment ---
+
+
+class Env:
+    """Lexical scope chain with snapshot/restore for branch joins."""
+
+    __slots__ = ("vars", "parent", "nonlocal_names", "global_names")
+
+    def __init__(self, parent: Optional["Env"] = None) -> None:
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+        self.nonlocal_names: set[str] = set()
+        self.global_names: set[str] = set()
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise KeyError(name)
+
+    def has(self, name: str) -> bool:
+        env: Optional[Env] = self
+        while env is not None:
+            if name in env.vars:
+                return True
+            env = env.parent
+        return False
+
+    def module_env(self) -> "Env":
+        env: Env = self
+        while env.parent is not None:
+            env = env.parent
+        return env
+
+    def assign(self, name: str, value: Any) -> None:
+        if name in self.global_names:
+            self.module_env().vars[name] = value
+            return
+        if name in self.nonlocal_names:
+            env = self.parent
+            while env is not None:
+                if name in env.vars:
+                    env.vars[name] = value
+                    return
+                env = env.parent
+        self.vars[name] = value
+
+    def chain(self) -> List["Env"]:
+        out: List[Env] = []
+        env: Optional[Env] = self
+        while env is not None:
+            out.append(env)
+            env = env.parent
+        return out
+
+    def snapshot(self) -> List[Tuple["Env", Dict[str, Any]]]:
+        return [(env, dict(env.vars)) for env in self.chain()]
+
+
+def _restore(snap: List[Tuple[Env, Dict[str, Any]]]) -> None:
+    for env, saved in snap:
+        env.vars = dict(saved)
+
+
+def _join_states(after_body: List[Tuple[Env, Dict[str, Any]]],
+                 after_else: List[Tuple[Env, Dict[str, Any]]]) -> None:
+    """Merge two branch outcomes in place: disagreeing names go UNKNOWN."""
+    else_by_env = {id(env): state for env, state in after_else}
+    for env, body_state in after_body:
+        else_state = else_by_env.get(id(env), {})
+        merged: Dict[str, Any] = {}
+        for name in sorted(set(body_state) | set(else_state)):
+            if name in body_state and name in else_state:
+                b, e = body_state[name], else_state[name]
+                merged[name] = b if b is e else (
+                    b if _defs_equal(b, e) else UNKNOWN)
+            else:
+                merged[name] = UNKNOWN
+        env.vars = merged
+
+
+def _defs_equal(a: Any, b: Any) -> bool:
+    if not is_concrete(a) or not is_concrete(b):
+        return False
+    try:
+        return bool(a == b)
+    except Exception:
+        return False
+
+
+# ------------------------------------------------------------- MPI proxy ---
+
+
+class MpiProxy:
+    """Facade stand-in: records comm events instead of scheduling them."""
+
+    def __init__(self, rank: int, size: int) -> None:
+        self.rank = rank
+        self.size = size
+        self.events: List[Event] = []
+        self._interp: Optional["Interp"] = None
+
+    # -- helpers ----------------------------------------------------------
+    def _line(self) -> Optional[int]:
+        return self._interp.current_line if self._interp else None
+
+    def _certain(self) -> bool:
+        return self._interp.uncertain_depth == 0 if self._interp else True
+
+    def _peer(self, value: Any) -> Optional[int]:
+        return _as_int(value)
+
+    def _tag(self, value: Any) -> Optional[int]:
+        concrete = _as_int(value)
+        # ANY_TAG means "match anything" in the pairing simulation: None
+        return None if concrete == ANY_TAG else concrete
+
+    def _p2p(self, op: str, peer: Any, tag: Any, data: Any,
+             wildcard: bool = False) -> None:
+        self.events.append(MsgEvent(
+            op=op, peer=self._peer(peer), wildcard=wildcard,
+            tag=self._tag(tag), nbytes=_nbytes_of(data),
+            certain=self._certain(), line=self._line()))
+
+    def _coll(self, kind: str, root: Any, buf: Any) -> None:
+        self.events.append(CollEvent(
+            kind=kind, root=self._peer(root), nbytes=_nbytes_of(buf),
+            certain=self._certain(), line=self._line()))
+
+    # -- point to point ---------------------------------------------------
+    def send(self, data: Any, dest: Any, tag: Any = 0, comm: Any = None,
+             mode: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return None
+
+    def isend(self, data: Any, dest: Any, tag: Any = 0, comm: Any = None,
+              mode: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return UNKNOWN
+
+    # send-mode variants share the standard-send footprint
+    def ssend(self, data: Any, dest: Any, tag: Any = 0,
+              comm: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return None
+
+    def bsend(self, data: Any, dest: Any, tag: Any = 0,
+              comm: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return None
+
+    def rsend(self, data: Any, dest: Any, tag: Any = 0,
+              comm: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return None
+
+    def issend(self, data: Any, dest: Any, tag: Any = 0,
+               comm: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return UNKNOWN
+
+    def ibsend(self, data: Any, dest: Any, tag: Any = 0,
+               comm: Any = None) -> Any:
+        self._p2p("send", dest, tag, data)
+        return UNKNOWN
+
+    def recv(self, buf: Any = None, source: Any = ANY_SOURCE,
+             tag: Any = ANY_TAG, comm: Any = None) -> Any:
+        self._recv(buf, source, tag)
+        return UNKNOWN
+
+    def irecv(self, buf: Any = None, source: Any = ANY_SOURCE,
+              tag: Any = ANY_TAG, comm: Any = None) -> Any:
+        self._recv(buf, source, tag)
+        return UNKNOWN
+
+    def _recv(self, buf: Any, source: Any, tag: Any) -> None:
+        concrete = self._peer(source)
+        if concrete == ANY_SOURCE:
+            self._p2p("recv", None, tag, buf, wildcard=True)
+        else:
+            self._p2p("recv", source, tag, buf)
+
+    def sendrecv(self, senddata: Any, dest: Any, recvbuf: Any = None,
+                 source: Any = ANY_SOURCE, sendtag: Any = 0,
+                 recvtag: Any = ANY_TAG, comm: Any = None) -> Any:
+        self._p2p("send", dest, sendtag, senddata)
+        self._recv(recvbuf, source, recvtag)
+        return UNKNOWN
+
+    def iprobe(self, source: Any = ANY_SOURCE, tag: Any = ANY_TAG,
+               comm: Any = None) -> Any:
+        concrete = self._peer(source)
+        if concrete == ANY_SOURCE:
+            self._p2p("probe", None, tag, None, wildcard=True)
+        else:
+            self._p2p("probe", source, tag, None)
+        return UNKNOWN
+
+    # -- request completion (no comm edges) -------------------------------
+    def wait(self, request: Any) -> Any:
+        return UNKNOWN
+
+    def waitall(self, requests: Any) -> Any:
+        return None
+
+    def test(self, request: Any) -> Any:
+        return UNKNOWN
+
+    # -- collectives ------------------------------------------------------
+    def barrier(self, comm: Any = None) -> Any:
+        self._coll("barrier", None, None)
+        return None
+
+    def bcast(self, buf: Any, root: Any = 0, comm: Any = None) -> Any:
+        self._coll("bcast", root, buf)
+        return UNKNOWN
+
+    def reduce(self, sendbuf: Any, recvbuf: Any = None, op: Any = None,
+               root: Any = 0, comm: Any = None) -> Any:
+        self._coll("reduce", root, sendbuf)
+        return UNKNOWN
+
+    def allreduce(self, sendbuf: Any, recvbuf: Any = None, op: Any = None,
+                  comm: Any = None) -> Any:
+        self._coll("allreduce", None, sendbuf)
+        return UNKNOWN
+
+    def allgather(self, sendbuf: Any, recvbuf: Any = None,
+                  comm: Any = None) -> Any:
+        self._coll("allgather", None, sendbuf)
+        return UNKNOWN
+
+    def alltoall(self, sendbuf: Any, recvbuf: Any = None,
+                 comm: Any = None) -> Any:
+        self._coll("alltoall", None, sendbuf)
+        return UNKNOWN
+
+    def alltoallv(self, sendbuf: Any, sendcounts: Any = None,
+                  sdispls: Any = None, recvbuf: Any = None,
+                  recvcounts: Any = None, rdispls: Any = None,
+                  comm: Any = None) -> Any:
+        self._coll("alltoallv", None, sendbuf)
+        return UNKNOWN
+
+    def gather(self, sendbuf: Any, recvbuf: Any = None, root: Any = 0,
+               comm: Any = None) -> Any:
+        self._coll("gather", root, sendbuf)
+        return UNKNOWN
+
+    def scatter(self, sendbuf: Any, recvbuf: Any = None, root: Any = 0,
+                comm: Any = None) -> Any:
+        self._coll("scatter", root, sendbuf)
+        return UNKNOWN
+
+    # -- local ops --------------------------------------------------------
+    def compute(self, us: Any) -> Any:
+        return None
+
+    def wtime(self) -> Any:
+        return UNKNOWN
+
+
+_MPI_METHODS = frozenset(
+    name for name in vars(MpiProxy)
+    if not name.startswith("_") and callable(getattr(MpiProxy, name)))
+
+
+# ------------------------------------------------------------ interpreter ---
+
+#: module prefixes interpreted from source (never imported for real)
+_INTERP_PREFIX = "repro.apps"
+
+#: modules importable for real inside interpreted code (leaf helpers only)
+_REAL_IMPORT_OK = ("repro.mpi.constants", "repro.apps.npb.common",
+                   "math", "itertools")
+
+_AST_CACHE: Dict[str, ast.Module] = {}
+
+#: real-container methods that mutate in place; executed raw even with
+#: abstract arguments so structure stays tracked while values may be UNKNOWN
+_MUTATORS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "appendleft", "extendleft", "discard",
+})
+
+
+def _load_ast(dotted: str) -> ast.Module:
+    if dotted in _AST_CACHE:
+        return _AST_CACHE[dotted]
+    spec = importlib.util.find_spec(dotted)
+    if spec is None or spec.origin is None:
+        raise AnalysisError(f"cannot locate source for module {dotted!r}")
+    with open(spec.origin, "r", encoding="utf-8") as fh:
+        tree = ast.parse(fh.read(), filename=spec.origin)
+    _AST_CACHE[dotted] = tree
+    return tree
+
+
+class Budget:
+    __slots__ = ("ops",)
+
+    def __init__(self, ops: int = 5_000_000) -> None:
+        self.ops = ops
+
+    def spend(self) -> None:
+        self.ops -= 1
+        if self.ops < 0:
+            raise BudgetExceeded("abstract-interpretation op budget exceeded")
+
+
+class Interp:
+    """One abstract interpretation context (typically: one rank)."""
+
+    def __init__(self, budget: Optional[Budget] = None,
+                 extra_sources: Optional[Dict[str, str]] = None) -> None:
+        self.budget = budget or Budget()
+        self.uncertain_depth = 0
+        self.current_line: Optional[int] = None
+        self.call_depth = 0
+        self._modules: Dict[str, Any] = {}
+        self._extra_sources = dict(extra_sources or {})
+
+    # ---------------------------------------------------------- modules --
+    def import_module(self, dotted: str) -> Any:
+        if dotted in self._modules:
+            return self._modules[dotted]
+        if dotted == "numpy":
+            value: Any = NumpyVal()
+        elif dotted in self._extra_sources:
+            value = self._interpret_module(
+                dotted, ast.parse(self._extra_sources[dotted]))
+        elif dotted in _REAL_IMPORT_OK:
+            try:
+                value = importlib.import_module(dotted)
+            except Exception as exc:
+                raise AnalysisError(f"cannot import {dotted!r}: {exc}") from exc
+        elif dotted.startswith(_INTERP_PREFIX):
+            value = self._interpret_module(dotted, _load_ast(dotted))
+        elif dotted.startswith("repro."):
+            try:
+                value = importlib.import_module(dotted)
+            except Exception as exc:
+                raise AnalysisError(f"cannot import {dotted!r}: {exc}") from exc
+        else:
+            value = UNKNOWN
+        self._modules[dotted] = value
+        return value
+
+    def _interpret_module(self, dotted: str, tree: ast.Module) -> ModuleProxy:
+        env = Env()
+        proxy = ModuleProxy(dotted, env)
+        self._modules[dotted] = proxy  # pre-bind against import cycles
+        self.exec_block(tree.body, env)
+        return proxy
+
+    def load_program(self, dotted: str, factory: str) -> Any:
+        module = self.import_module(dotted)
+        if not isinstance(module, ModuleProxy):
+            raise AnalysisError(f"module {dotted!r} is not interpretable")
+        try:
+            return module.env.lookup(factory)
+        except KeyError:
+            raise AnalysisError(
+                f"factory {factory!r} not found in {dotted!r}") from None
+
+    # ------------------------------------------------------------ driver --
+    def run_program(self, program: Any, mpi: MpiProxy) -> Any:
+        """Call ``program(mpi)`` — the kernel generator — to completion."""
+        mpi._interp = self
+        try:
+            return self.call_value(program, (mpi,), {})
+        except RaiseSignal as sig:
+            raise AnalysisError(
+                f"kernel raised on the interpreted path: {sig.detail}"
+                + (f" (line {sig.line})" if sig.line else "")) from None
+
+    # ------------------------------------------------------------- calls --
+    def call_value(self, func: Any, args: Tuple[Any, ...],
+                   kwargs: Dict[str, Any]) -> Any:
+        self.budget.spend()
+        if func is UNKNOWN or isinstance(func, UnknownIter):
+            return UNKNOWN
+        if isinstance(func, FuncVal):
+            return self._call_funcval(func, args, kwargs)
+        if isinstance(func, NpFunc):
+            return self._call_numpy(func.name, args, kwargs)
+        if isinstance(func, DtypeVal):
+            if args and is_concrete(args[0]):
+                try:
+                    return np.dtype(func.name).type(args[0])
+                except Exception:
+                    return UNKNOWN
+            return UNKNOWN
+        if isinstance(func, (_BoundArray, _BoundRng)):
+            return func(*args, **kwargs)
+        bound_self = getattr(func, "__self__", None)
+        if isinstance(bound_self, MpiProxy):
+            return func(*args, **kwargs)
+        if isinstance(bound_self, RngVal):
+            return bound_self.call(func.__name__, args, kwargs)
+        if callable(func):
+            return self._call_real(func, args, kwargs)
+        return UNKNOWN
+
+    def _call_funcval(self, func: FuncVal, args: Tuple[Any, ...],
+                      kwargs: Dict[str, Any]) -> Any:
+        if self.call_depth > 150:
+            raise AnalysisError(f"call depth exceeded in {func.name!r}")
+        env = Env(parent=func.env)
+        self._bind_params(func, env, args, kwargs)
+        self.call_depth += 1
+        try:
+            node = func.node
+            if isinstance(node, ast.Lambda):
+                return self.eval_expr(node.body, env)
+            try:
+                self.exec_block(node.body, env)
+            except ReturnSignal as ret:
+                return ret.value
+            return None
+        finally:
+            self.call_depth -= 1
+
+    def _bind_params(self, func: FuncVal, env: Env, args: Tuple[Any, ...],
+                     kwargs: Dict[str, Any]) -> None:
+        node = func.node
+        fargs = node.args
+        names = [a.arg for a in fargs.posonlyargs + fargs.args]
+        bound: Dict[str, Any] = {}
+        extra: List[Any] = []
+        for i, value in enumerate(args):
+            if i < len(names):
+                bound[names[i]] = value
+            else:
+                extra.append(value)
+        if fargs.vararg is not None:
+            bound[fargs.vararg.arg] = tuple(extra)
+        kw_extra: Dict[str, Any] = {}
+        kwonly = {a.arg for a in fargs.kwonlyargs}
+        for key, value in kwargs.items():
+            if key in names or key in kwonly:
+                bound[key] = value
+            else:
+                kw_extra[key] = value
+        if fargs.kwarg is not None:
+            bound[fargs.kwarg.arg] = kw_extra
+        # positional defaults align to the tail of ``names``
+        n_def = len(func.pos_defaults)
+        for i, name in enumerate(names[len(names) - n_def:] if n_def else []):
+            if name not in bound:
+                bound[name] = func.pos_defaults[i]
+        for name, value in func.kw_defaults.items():
+            if name not in bound:
+                bound[name] = value
+        for name in names + [a.arg for a in fargs.kwonlyargs]:
+            if name not in bound:
+                bound[name] = UNKNOWN
+        env.vars.update(bound)
+
+    def _call_real(self, func: Callable[..., Any], args: Tuple[Any, ...],
+                   kwargs: Dict[str, Any]) -> Any:
+        # structure-preserving mutators on real containers may store
+        # abstract values (the container stays tracked, values opaque)
+        name = getattr(func, "__name__", "")
+        bound_self = getattr(func, "__self__", None)
+        if (isinstance(bound_self, (list, dict, set, bytearray))
+                and name in _MUTATORS):
+            try:
+                return func(*args, **kwargs)
+            except Exception:
+                return UNKNOWN
+        if func is len:
+            return self._builtin_len(args[0]) if args else UNKNOWN
+        if func in (int, float, bool, complex, str) and args:
+            if not is_concrete(args[0]):
+                return UNKNOWN
+        if all(is_concrete(a) for a in args) and all(
+                is_concrete(v) for v in kwargs.values()):
+            try:
+                return func(*args, **kwargs)
+            except Exception:
+                return UNKNOWN
+        if func in (list, tuple, sorted, set, dict, min, max, sum, abs,
+                    range, zip, enumerate, reversed, map, filter):
+            return UNKNOWN if func not in (zip, enumerate, map, filter) \
+                else UnknownIter()
+        if func is print:
+            return None
+        return UNKNOWN
+
+    def _builtin_len(self, value: Any) -> Any:
+        if isinstance(value, AbstractArray):
+            if value.shape is not None and value.shape:
+                return value.shape[0]
+            return UNKNOWN
+        if value is UNKNOWN or isinstance(value, UnknownIter):
+            return UNKNOWN
+        try:
+            return len(value)
+        except Exception:
+            return UNKNOWN
+
+    # ------------------------------------------------------------- numpy --
+    def _call_numpy(self, name: str, args: Tuple[Any, ...],
+                    kwargs: Dict[str, Any]) -> Any:
+        if all(is_concrete(a) for a in args) and all(
+                is_concrete(v) for k, v in kwargs.items() if k != "dtype"):
+            target: Any = np
+            try:
+                for part in name.split("."):
+                    target = getattr(target, part)
+            except AttributeError:
+                return UNKNOWN
+            if name == "random.default_rng":
+                return RngVal()
+            if name.rsplit(".", 1)[-1] in ("empty", "empty_like"):
+                # np.empty leaves contents uninitialized, which would make
+                # the analysis nondeterministic — use zeros (same shape)
+                target = np.zeros if name.endswith("empty") else np.zeros_like
+            real_kwargs = dict(kwargs)
+            if isinstance(real_kwargs.get("dtype"), DtypeVal):
+                real_kwargs["dtype"] = real_kwargs["dtype"].name
+            try:
+                return target(*args, **real_kwargs)
+            except Exception:
+                return UNKNOWN
+        return self._numpy_abstract(name, args, kwargs)
+
+    def _numpy_abstract(self, name: str, args: Tuple[Any, ...],
+                        kwargs: Dict[str, Any]) -> Any:
+        leaf = name.rsplit(".", 1)[-1]
+        dtype_kw = kwargs.get("dtype")
+        dtype_name = _dtype_name(
+            dtype_kw.name if isinstance(dtype_kw, DtypeVal) else dtype_kw
+        ) if dtype_kw is not None else None
+        first = args[0] if args else None
+
+        def shape_of(value: Any) -> Shape:
+            if isinstance(value, AbstractArray):
+                return value.shape
+            if isinstance(value, np.ndarray):
+                return tuple(value.shape)
+            if isinstance(value, (int, float, complex, bool, np.generic)):
+                return ()
+            if isinstance(value, (list, tuple)):
+                return _nested_shape(value)
+            return None
+
+        def dt_of(value: Any) -> str:
+            if isinstance(value, AbstractArray):
+                return value.dtype
+            if isinstance(value, np.ndarray):
+                return str(value.dtype)
+            return "float64"
+
+        if leaf in ("zeros", "ones", "empty", "full"):
+            shape = _as_shape(first)
+            return AbstractArray(shape, dtype_name or "float64")
+        if leaf in ("zeros_like", "empty_like", "ones_like", "full_like"):
+            return AbstractArray(shape_of(first), dtype_name or dt_of(first))
+        if leaf in ("array", "asarray", "ascontiguousarray"):
+            return AbstractArray(shape_of(first), dtype_name or dt_of(first))
+        if leaf == "arange":
+            return AbstractArray(None, dtype_name or "int64")
+        if leaf in ("sqrt", "exp", "log", "log2", "log10", "abs", "absolute",
+                    "sin", "cos", "conj", "conjugate", "floor", "ceil",
+                    "clip", "maximum", "minimum", "isfinite", "isnan",
+                    "real", "imag", "sign", "square", "tanh"):
+            shape = shape_of(first)
+            if leaf in ("maximum", "minimum") and len(args) > 1:
+                shape = _broadcast(shape, shape_of(args[1]))
+            dt = "bool" if leaf in ("isfinite", "isnan") else dt_of(first)
+            if leaf == "abs" and dt.startswith("complex"):
+                dt = "float64"
+            if shape == ():
+                return UNKNOWN
+            return AbstractArray(shape, dt) if shape is not None else UNKNOWN
+        if leaf in ("sum", "mean", "max", "min", "prod", "std", "var",
+                    "vdot", "trace", "linalg.norm", "norm", "argmax",
+                    "argmin", "count_nonzero"):
+            axis = kwargs.get("axis", args[1] if len(args) > 1 else None)
+            shape = shape_of(first)
+            if axis is None or shape is None:
+                return UNKNOWN
+            ax = _as_int(axis)
+            if ax is None or not (-len(shape) <= ax < len(shape)):
+                return UNKNOWN
+            reduced = tuple(d for i, d in enumerate(shape)
+                            if i != ax % len(shape))
+            return AbstractArray(reduced, dt_of(first))
+        if leaf in ("dot", "matmul"):
+            return _matmul_shape(shape_of(first),
+                                 shape_of(args[1]) if len(args) > 1 else None,
+                                 _promote(dt_of(first),
+                                          dt_of(args[1]) if len(args) > 1
+                                          else "float64"))
+        if leaf == "fft":
+            return AbstractArray(shape_of(first), "complex128")
+        if leaf == "concatenate":
+            return _concat_shape(first, kwargs.get("axis", 0))
+        if leaf in ("reshape", "broadcast_to"):
+            shape = _as_shape(args[1]) if len(args) > 1 else None
+            return AbstractArray(shape, dt_of(first))
+        if leaf in ("take", "sort", "cumsum", "argsort", "ravel", "copy"):
+            if leaf == "take":
+                idx_shape = shape_of(args[1]) if len(args) > 1 else None
+                return AbstractArray(idx_shape, dt_of(first))
+            return AbstractArray(shape_of(first), dt_of(first))
+        if leaf == "bincount":
+            return AbstractArray(None, "int64")
+        if leaf == "where":
+            if len(args) == 1:
+                return UNKNOWN
+            shape = _broadcast(shape_of(args[1]) if len(args) > 1 else None,
+                               shape_of(args[2]) if len(args) > 2 else None)
+            return AbstractArray(shape, "float64")
+        if leaf == "at":  # np.add.at — in-place scatter
+            return None
+        if leaf == "default_rng":
+            return RngVal()
+        return UNKNOWN
+
+    # ---------------------------------------------------------- exec stmt --
+    def exec_block(self, body: Sequence[ast.stmt], env: Env) -> None:
+        for stmt in body:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: ast.stmt, env: Env) -> None:
+        self.budget.spend()
+        self.current_line = getattr(stmt, "lineno", self.current_line)
+        method = getattr(self, "_stmt_" + type(stmt).__name__, None)
+        if method is None:
+            # unsupported statements (class defs, with, match...) are rare
+            # in kernels; treat their bindings as unknown rather than fail
+            for name in _assigned_names(stmt):
+                env.assign(name, UNKNOWN)
+            return
+        method(stmt, env)
+
+    def _stmt_Expr(self, stmt: ast.Expr, env: Env) -> None:
+        self.eval_expr(stmt.value, env)
+
+    def _stmt_Pass(self, stmt: ast.Pass, env: Env) -> None:
+        return None
+
+    def _stmt_Break(self, stmt: ast.Break, env: Env) -> None:
+        raise BreakSignal()
+
+    def _stmt_Continue(self, stmt: ast.Continue, env: Env) -> None:
+        raise ContinueSignal()
+
+    def _stmt_Return(self, stmt: ast.Return, env: Env) -> None:
+        value = self.eval_expr(stmt.value, env) if stmt.value else None
+        raise ReturnSignal(value)
+
+    def _stmt_Global(self, stmt: ast.Global, env: Env) -> None:
+        env.global_names.update(stmt.names)
+
+    def _stmt_Nonlocal(self, stmt: ast.Nonlocal, env: Env) -> None:
+        env.nonlocal_names.update(stmt.names)
+
+    def _stmt_Import(self, stmt: ast.Import, env: Env) -> None:
+        for alias in stmt.names:
+            value = self.import_module(alias.name)
+            name = alias.asname or alias.name.split(".")[0]
+            if alias.asname is None and "." in alias.name:
+                # ``import a.b`` binds ``a``; our modules are leaf-grained,
+                # so bind the leaf proxy under the root name only if absent
+                if not env.has(name):
+                    env.assign(name, UNKNOWN)
+            else:
+                env.assign(name, value)
+
+    def _stmt_ImportFrom(self, stmt: ast.ImportFrom, env: Env) -> None:
+        dotted = stmt.module or ""
+        if stmt.level:
+            dotted = _INTERP_PREFIX if not dotted else dotted
+        module = self.import_module(dotted)
+        for alias in stmt.names:
+            name = alias.asname or alias.name
+            env.assign(name, self._module_attr(module, alias.name))
+
+    def _module_attr(self, module: Any, name: str) -> Any:
+        if isinstance(module, ModuleProxy):
+            try:
+                return module.env.lookup(name)
+            except KeyError:
+                return UNKNOWN
+        if isinstance(module, NumpyVal):
+            return module.attr(name)
+        if module is UNKNOWN:
+            return UNKNOWN
+        try:
+            return getattr(module, name)
+        except AttributeError:
+            return UNKNOWN
+
+    def _stmt_FunctionDef(self, stmt: ast.FunctionDef, env: Env) -> None:
+        pos_defaults = tuple(
+            self.eval_expr(d, env) for d in stmt.args.defaults)
+        kw_defaults = {
+            a.arg: self.eval_expr(d, env)
+            for a, d in zip(stmt.args.kwonlyargs, stmt.args.kw_defaults)
+            if d is not None}
+        env.assign(stmt.name, FuncVal(stmt.name, stmt, env,
+                                      pos_defaults, kw_defaults))
+
+    def _stmt_Assign(self, stmt: ast.Assign, env: Env) -> None:
+        value = self.eval_expr(stmt.value, env)
+        for target in stmt.targets:
+            self._assign_target(target, value, env)
+
+    def _stmt_AnnAssign(self, stmt: ast.AnnAssign, env: Env) -> None:
+        if stmt.value is not None:
+            self._assign_target(stmt.target,
+                                self.eval_expr(stmt.value, env), env)
+
+    def _stmt_AugAssign(self, stmt: ast.AugAssign, env: Env) -> None:
+        target = stmt.target
+        current = self._eval_target(target, env)
+        value = self.eval_expr(stmt.value, env)
+        result = self._binop(type(stmt.op).__name__, current, value)
+        self._assign_target(target, result, env)
+
+    def _eval_target(self, target: ast.expr, env: Env) -> Any:
+        try:
+            return self.eval_expr(target, env)
+        except AnalysisError:
+            return UNKNOWN
+
+    def _assign_target(self, target: ast.expr, value: Any, env: Env) -> None:
+        if isinstance(target, ast.Name):
+            env.assign(target.id, value)
+            return
+        if isinstance(target, (ast.Tuple, ast.List)):
+            self._assign_unpack(target, value, env)
+            return
+        if isinstance(target, ast.Subscript):
+            self._assign_subscript(target, value, env)
+            return
+        if isinstance(target, ast.Attribute):
+            return  # attribute stores on tracked objects: drop
+        if isinstance(target, ast.Starred):
+            self._assign_target(target.value, UNKNOWN, env)
+
+    def _assign_unpack(self, target: ast.Tuple | ast.List, value: Any,
+                       env: Env) -> None:
+        elts = target.elts
+        values: Optional[List[Any]] = None
+        if isinstance(value, (tuple, list)) and not any(
+                isinstance(e, ast.Starred) for e in elts):
+            if len(value) == len(elts):
+                values = list(value)
+        if values is None:
+            values = [UNKNOWN] * len(elts)
+        for elt, v in zip(elts, values):
+            if isinstance(elt, ast.Starred):
+                self._assign_target(elt.value, UNKNOWN, env)
+            else:
+                self._assign_target(elt, v, env)
+
+    def _assign_subscript(self, target: ast.Subscript, value: Any,
+                          env: Env) -> None:
+        obj = self._eval_target(target.value, env)
+        key = self.eval_expr(target.slice, env)
+        if isinstance(obj, (dict, list)) and is_concrete(key):
+            try:
+                obj[key] = value  # type: ignore[index]
+            except Exception:
+                pass
+            return
+        if isinstance(obj, np.ndarray):
+            if is_concrete(key) and is_concrete(value):
+                try:
+                    obj[key] = value
+                    return
+                except Exception:
+                    return
+            # abstract store into a real array: the contents are no longer
+            # trustworthy — degrade the *name* binding to an AbstractArray
+            if isinstance(target.value, ast.Name):
+                env.assign(target.value.id,
+                           AbstractArray(tuple(obj.shape), str(obj.dtype)))
+            return
+        return  # AbstractArray / UNKNOWN stores: shape unaffected, drop
+
+    def _stmt_If(self, stmt: ast.If, env: Env) -> None:
+        cond = self._truth(self.eval_expr(stmt.test, env))
+        if cond is True:
+            self.exec_block(stmt.body, env)
+        elif cond is False:
+            self.exec_block(stmt.orelse, env)
+        else:
+            self._both_branches(stmt.body, stmt.orelse, env)
+
+    def _both_branches(self, body: Sequence[ast.stmt],
+                       orelse: Sequence[ast.stmt], env: Env) -> None:
+        before = env.snapshot()
+        self.uncertain_depth += 1
+        try:
+            escape_body = self._run_branch(body, env)
+            after_body = env.snapshot()
+            _restore(before)
+            escape_else = self._run_branch(orelse, env)
+            after_else = env.snapshot()
+            _join_states(after_body, after_else)
+        finally:
+            self.uncertain_depth -= 1
+        if escape_body is not None and type(escape_body) is type(escape_else):
+            # both arms leave the block the same way; propagate the escape
+            if isinstance(escape_body, ReturnSignal):
+                raise ReturnSignal(UNKNOWN)
+            raise escape_body
+
+    def _run_branch(self, body: Sequence[ast.stmt],
+                    env: Env) -> Optional[_Signal]:
+        """Run one uncertain arm, swallowing escapes; return the signal."""
+        try:
+            self.exec_block(body, env)
+            return None
+        except (BreakSignal, ContinueSignal, ReturnSignal, RaiseSignal) as sig:
+            return sig
+
+    def _stmt_While(self, stmt: ast.While, env: Env) -> None:
+        for _ in range(1_000_000):
+            cond = self._truth(self.eval_expr(stmt.test, env))
+            if cond is False:
+                break
+            if cond is None:
+                self._unknown_loop(stmt.body, env)
+                return
+            try:
+                self.exec_block(stmt.body, env)
+            except BreakSignal:
+                return
+            except ContinueSignal:
+                continue
+        else:
+            raise BudgetExceeded("concrete while-loop exceeded iteration cap")
+        self.exec_block(stmt.orelse, env)
+
+    def _stmt_For(self, stmt: ast.For, env: Env) -> None:
+        iterable = self.eval_expr(stmt.iter, env)
+        items = self._iter_items(iterable)
+        if items is None:
+            self._unknown_loop(stmt.body, env, target=stmt.target)
+            return
+        broke = False
+        for item in items:
+            self._assign_target(stmt.target, item, env)
+            try:
+                self.exec_block(stmt.body, env)
+            except BreakSignal:
+                broke = True
+                break
+            except ContinueSignal:
+                continue
+        if not broke:
+            self.exec_block(stmt.orelse, env)
+
+    def _iter_items(self, iterable: Any) -> Optional[List[Any]]:
+        if iterable is UNKNOWN or isinstance(iterable, UnknownIter):
+            return None
+        if isinstance(iterable, AbstractArray):
+            # iterating an array of known shape yields shape[0] abstract rows
+            if iterable.shape and 0 < iterable.shape[0] <= 4096:
+                row = AbstractArray(iterable.shape[1:], iterable.dtype)
+                return [row] * iterable.shape[0]
+            return None
+        if isinstance(iterable, (set, frozenset)):
+            try:
+                return sorted(iterable)
+            except TypeError:
+                return sorted(iterable, key=repr)
+        if isinstance(iterable, (list, tuple, range, str, bytes)):
+            return list(iterable)
+        if isinstance(iterable, dict):
+            return list(iterable)
+        if isinstance(iterable, np.ndarray):
+            return list(iterable)
+        if isinstance(iterable, Iterator):
+            out: List[Any] = []
+            try:
+                for item in iterable:
+                    out.append(item)
+                    if len(out) > 100_000:
+                        return None
+            except Exception:
+                return None
+            return out
+        try:
+            return list(iterable)
+        except Exception:
+            return None
+
+    def _unknown_loop(self, body: Sequence[ast.stmt], env: Env,
+                      target: Optional[ast.expr] = None) -> None:
+        """Loop we can't bound: one uncertain pass, then havoc stores."""
+        self.uncertain_depth += 1
+        try:
+            if target is not None:
+                self._assign_target(target, UNKNOWN, env)
+            self._run_branch(body, env)
+        finally:
+            self.uncertain_depth -= 1
+        for name in _block_assigned_names(body):
+            env.assign(name, UNKNOWN)
+        if target is not None:
+            self._assign_target(target, UNKNOWN, env)
+
+    def _stmt_Raise(self, stmt: ast.Raise, env: Env) -> None:
+        detail = ast.unparse(stmt.exc) if stmt.exc is not None else "raise"
+        raise RaiseSignal(detail, getattr(stmt, "lineno", None))
+
+    def _stmt_Assert(self, stmt: ast.Assert, env: Env) -> None:
+        self.eval_expr(stmt.test, env)
+
+    def _stmt_Delete(self, stmt: ast.Delete, env: Env) -> None:
+        return None
+
+    def _stmt_Try(self, stmt: ast.Try, env: Env) -> None:
+        try:
+            try:
+                self.exec_block(stmt.body, env)
+            except RaiseSignal:
+                handled = False
+                for handler in stmt.handlers:
+                    if handler.name:
+                        env.assign(handler.name, UNKNOWN)
+                    try:
+                        self.exec_block(handler.body, env)
+                        handled = True
+                        break
+                    except RaiseSignal:
+                        raise
+                if not handled and not stmt.handlers:
+                    raise
+            else:
+                self.exec_block(stmt.orelse, env)
+        finally:
+            self.exec_block(stmt.finalbody, env)
+
+    def _stmt_With(self, stmt: ast.With, env: Env) -> None:
+        for item in stmt.items:
+            value = self.eval_expr(item.context_expr, env)
+            if item.optional_vars is not None:
+                self._assign_target(item.optional_vars, value, env)
+        self.exec_block(stmt.body, env)
+
+    # ---------------------------------------------------------- eval expr --
+    def eval_expr(self, node: ast.expr, env: Env) -> Any:
+        self.budget.spend()
+        self.current_line = getattr(node, "lineno", self.current_line)
+        method = getattr(self, "_expr_" + type(node).__name__, None)
+        if method is None:
+            return UNKNOWN
+        return method(node, env)
+
+    def _expr_Constant(self, node: ast.Constant, env: Env) -> Any:
+        return node.value
+
+    def _expr_Name(self, node: ast.Name, env: Env) -> Any:
+        try:
+            return env.lookup(node.id)
+        except KeyError:
+            if hasattr(builtins, node.id):
+                return getattr(builtins, node.id)
+            return UNKNOWN
+
+    def _expr_Tuple(self, node: ast.Tuple, env: Env) -> Any:
+        return tuple(self.eval_expr(e, env) for e in node.elts)
+
+    def _expr_List(self, node: ast.List, env: Env) -> Any:
+        return [self.eval_expr(e, env) for e in node.elts]
+
+    def _expr_Set(self, node: ast.Set, env: Env) -> Any:
+        values = [self.eval_expr(e, env) for e in node.elts]
+        if all(is_concrete(v) for v in values):
+            try:
+                return set(values)
+            except TypeError:
+                return UNKNOWN
+        return UNKNOWN
+
+    def _expr_Dict(self, node: ast.Dict, env: Env) -> Any:
+        out: Dict[Any, Any] = {}
+        for key_node, value_node in zip(node.keys, node.values):
+            value = self.eval_expr(value_node, env)
+            if key_node is None:
+                if isinstance(value, dict):
+                    out.update(value)
+                continue
+            key = self.eval_expr(key_node, env)
+            if not is_concrete(key):
+                return UNKNOWN
+            try:
+                out[key] = value
+            except TypeError:
+                return UNKNOWN
+        return out
+
+    def _expr_JoinedStr(self, node: ast.JoinedStr, env: Env) -> Any:
+        parts: List[str] = []
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                parts.append(str(value.value))
+            elif isinstance(value, ast.FormattedValue):
+                v = self.eval_expr(value.value, env)
+                parts.append(str(v) if is_concrete(v) else "<?>")
+        return "".join(parts)
+
+    def _expr_FormattedValue(self, node: ast.FormattedValue, env: Env) -> Any:
+        value = self.eval_expr(node.value, env)
+        return str(value) if is_concrete(value) else "<?>"
+
+    def _expr_Lambda(self, node: ast.Lambda, env: Env) -> Any:
+        pos_defaults = tuple(
+            self.eval_expr(d, env) for d in node.args.defaults)
+        kw_defaults = {
+            a.arg: self.eval_expr(d, env)
+            for a, d in zip(node.args.kwonlyargs, node.args.kw_defaults)
+            if d is not None}
+        return FuncVal("<lambda>", node, env, pos_defaults, kw_defaults)
+
+    def _expr_NamedExpr(self, node: ast.NamedExpr, env: Env) -> Any:
+        value = self.eval_expr(node.value, env)
+        self._assign_target(node.target, value, env)
+        return value
+
+    def _expr_Starred(self, node: ast.Starred, env: Env) -> Any:
+        return self.eval_expr(node.value, env)
+
+    def _expr_Yield(self, node: ast.Yield, env: Env) -> Any:
+        if node.value is not None:
+            self.eval_expr(node.value, env)
+        return UNKNOWN
+
+    def _expr_YieldFrom(self, node: ast.YieldFrom, env: Env) -> Any:
+        # kernels drive facade generators via ``yield from mpi.op(...)``;
+        # the proxy already recorded the event — pass its value through
+        return self.eval_expr(node.value, env)
+
+    def _expr_Await(self, node: ast.Await, env: Env) -> Any:
+        return self.eval_expr(node.value, env)
+
+    def _expr_IfExp(self, node: ast.IfExp, env: Env) -> Any:
+        cond = self._truth(self.eval_expr(node.test, env))
+        if cond is True:
+            return self.eval_expr(node.body, env)
+        if cond is False:
+            return self.eval_expr(node.orelse, env)
+        a = self.eval_expr(node.body, env)
+        b = self.eval_expr(node.orelse, env)
+        return a if _defs_equal(a, b) else UNKNOWN
+
+    def _expr_BoolOp(self, node: ast.BoolOp, env: Env) -> Any:
+        is_and = isinstance(node.op, ast.And)
+        result: Any = None
+        for operand in node.values:
+            value = self.eval_expr(operand, env)
+            truth = self._truth(value)
+            if truth is None:
+                return UNKNOWN
+            if is_and and truth is False:
+                return value
+            if not is_and and truth is True:
+                return value
+            result = value
+        return result
+
+    def _expr_UnaryOp(self, node: ast.UnaryOp, env: Env) -> Any:
+        value = self.eval_expr(node.operand, env)
+        if isinstance(node.op, ast.Not):
+            truth = self._truth(value)
+            return UNKNOWN if truth is None else (not truth)
+        if value is UNKNOWN or isinstance(value, _WRAPPERS):
+            if isinstance(value, AbstractArray) and isinstance(
+                    node.op, (ast.USub, ast.UAdd)):
+                return value
+            return UNKNOWN
+        try:
+            if isinstance(node.op, ast.USub):
+                return -value
+            if isinstance(node.op, ast.UAdd):
+                return +value
+            if isinstance(node.op, ast.Invert):
+                return ~value
+        except Exception:
+            return UNKNOWN
+        return UNKNOWN
+
+    def _expr_BinOp(self, node: ast.BinOp, env: Env) -> Any:
+        left = self.eval_expr(node.left, env)
+        right = self.eval_expr(node.right, env)
+        return self._binop(type(node.op).__name__, left, right)
+
+    _OPS: Dict[str, Callable[[Any, Any], Any]] = {
+        "Add": lambda a, b: a + b,
+        "Sub": lambda a, b: a - b,
+        "Mult": lambda a, b: a * b,
+        "Div": lambda a, b: a / b,
+        "FloorDiv": lambda a, b: a // b,
+        "Mod": lambda a, b: a % b,
+        "Pow": lambda a, b: a ** b,
+        "LShift": lambda a, b: a << b,
+        "RShift": lambda a, b: a >> b,
+        "BitOr": lambda a, b: a | b,
+        "BitAnd": lambda a, b: a & b,
+        "BitXor": lambda a, b: a ^ b,
+        "MatMult": lambda a, b: a @ b,
+    }
+
+    def _binop(self, op: str, left: Any, right: Any) -> Any:
+        if isinstance(left, AbstractArray) or isinstance(right, AbstractArray):
+            return self._array_binop(op, left, right)
+        if not is_concrete(left) or not is_concrete(right):
+            return UNKNOWN
+        fn = self._OPS.get(op)
+        if fn is None:
+            return UNKNOWN
+        try:
+            return fn(left, right)
+        except Exception:
+            return UNKNOWN
+
+    def _array_binop(self, op: str, left: Any, right: Any) -> Any:
+        def shape_dt(value: Any) -> Tuple[Shape, str]:
+            if isinstance(value, AbstractArray):
+                return value.shape, value.dtype
+            if isinstance(value, np.ndarray):
+                return tuple(value.shape), str(value.dtype)
+            if isinstance(value, (bool, np.bool_)):
+                return (), "bool"
+            if isinstance(value, (int, np.integer)):
+                return (), "int64"
+            if isinstance(value, (float, np.floating)):
+                return (), "float64"
+            if isinstance(value, complex):
+                return (), "complex128"
+            return None, "float64"
+
+        ls, ld = shape_dt(left)
+        rs, rd = shape_dt(right)
+        if op == "MatMult":
+            return _matmul_shape(ls, rs, _promote(ld, rd))
+        shape = _broadcast(ls, rs)
+        dtype = _promote(ld, rd)
+        if op == "Div":
+            dtype = _promote(dtype, "float64")
+        if shape == ():
+            return UNKNOWN
+        return AbstractArray(shape, dtype) if shape is not None else \
+            AbstractArray(None, dtype)
+
+    def _expr_Compare(self, node: ast.Compare, env: Env) -> Any:
+        left = self.eval_expr(node.left, env)
+        result: Any = True
+        for op, comparator in zip(node.ops, node.comparators):
+            right = self.eval_expr(comparator, env)
+            one = self._compare(op, left, right)
+            if one is UNKNOWN:
+                return UNKNOWN
+            if one is False:
+                return False
+            left = right
+        return result
+
+    def _compare(self, op: ast.cmpop, left: Any, right: Any) -> Any:
+        if isinstance(left, AbstractArray) or isinstance(right, AbstractArray):
+            return UNKNOWN
+        if isinstance(op, ast.Is):
+            if left is UNKNOWN or right is UNKNOWN:
+                return UNKNOWN
+            return left is right
+        if isinstance(op, ast.IsNot):
+            if left is UNKNOWN or right is UNKNOWN:
+                return UNKNOWN
+            return left is not right
+        if not is_concrete(left) or not is_concrete(right):
+            return UNKNOWN
+        try:
+            if isinstance(op, ast.Eq):
+                return bool(left == right)
+            if isinstance(op, ast.NotEq):
+                return bool(left != right)
+            if isinstance(op, ast.Lt):
+                return bool(left < right)
+            if isinstance(op, ast.LtE):
+                return bool(left <= right)
+            if isinstance(op, ast.Gt):
+                return bool(left > right)
+            if isinstance(op, ast.GtE):
+                return bool(left >= right)
+            if isinstance(op, ast.In):
+                return bool(left in right)
+            if isinstance(op, ast.NotIn):
+                return bool(left not in right)
+        except Exception:
+            return UNKNOWN
+        return UNKNOWN
+
+    def _expr_Call(self, node: ast.Call, env: Env) -> Any:
+        func = self.eval_expr(node.func, env)
+        args: List[Any] = []
+        for arg in node.args:
+            if isinstance(arg, ast.Starred):
+                value = self.eval_expr(arg.value, env)
+                if isinstance(value, (list, tuple)):
+                    args.extend(value)
+                else:
+                    args.append(UNKNOWN)
+            else:
+                args.append(self.eval_expr(arg, env))
+        kwargs: Dict[str, Any] = {}
+        for kw in node.keywords:
+            value = self.eval_expr(kw.value, env)
+            if kw.arg is None:
+                if isinstance(value, dict):
+                    for k, v in value.items():
+                        if isinstance(k, str):
+                            kwargs[k] = v
+            else:
+                kwargs[kw.arg] = value
+        return self.call_value(func, tuple(args), kwargs)
+
+    def _expr_Attribute(self, node: ast.Attribute, env: Env) -> Any:
+        obj = self.eval_expr(node.value, env)
+        return self._attr(obj, node.attr)
+
+    def _attr(self, obj: Any, name: str) -> Any:
+        if obj is UNKNOWN or isinstance(obj, (UnknownIter, FuncVal)):
+            return UNKNOWN
+        if isinstance(obj, NumpyVal):
+            return obj.attr(name)
+        if isinstance(obj, ModuleProxy):
+            try:
+                return obj.env.lookup(name)
+            except KeyError:
+                return UNKNOWN
+        if isinstance(obj, RngVal):
+            return _BoundRng(obj, name)
+        if isinstance(obj, AbstractArray):
+            return self._array_attr(obj, name)
+        if isinstance(obj, MpiProxy):
+            if name in ("rank", "size"):
+                return getattr(obj, name)
+            if name in _MPI_METHODS:
+                return getattr(obj, name)
+            return UNKNOWN
+        try:
+            return getattr(obj, name)
+        except Exception:
+            return UNKNOWN
+
+    def _array_attr(self, arr: AbstractArray, name: str) -> Any:
+        if name == "shape":
+            return arr.shape if arr.shape is not None else UNKNOWN
+        if name == "ndim":
+            return arr.ndim if arr.ndim is not None else UNKNOWN
+        if name == "size":
+            return arr.size if arr.size is not None else UNKNOWN
+        if name == "nbytes":
+            return arr.nbytes if arr.nbytes is not None else UNKNOWN
+        if name == "dtype":
+            return DtypeVal(arr.dtype)
+        if name == "T":
+            shape = None if arr.shape is None else tuple(reversed(arr.shape))
+            return AbstractArray(shape, arr.dtype)
+        if name in ("real", "imag"):
+            dt = "float64" if arr.dtype.startswith("complex") else arr.dtype
+            return AbstractArray(arr.shape, dt)
+        return _BoundArray(arr, name)
+
+    def _expr_Subscript(self, node: ast.Subscript, env: Env) -> Any:
+        obj = self.eval_expr(node.value, env)
+        key = self.eval_expr(node.slice, env)
+        return self._getitem(obj, key)
+
+    def _expr_Slice(self, node: ast.Slice, env: Env) -> Any:
+        lower = self.eval_expr(node.lower, env) if node.lower else None
+        upper = self.eval_expr(node.upper, env) if node.upper else None
+        step = self.eval_expr(node.step, env) if node.step else None
+        if all(v is None or _as_int(v) is not None
+               for v in (lower, upper, step)):
+            return slice(
+                None if lower is None else _as_int(lower),
+                None if upper is None else _as_int(upper),
+                None if step is None else _as_int(step))
+        return UNKNOWN
+
+    def _getitem(self, obj: Any, key: Any) -> Any:
+        if obj is UNKNOWN or isinstance(obj, UnknownIter):
+            return UNKNOWN
+        if isinstance(obj, AbstractArray):
+            return _array_getitem(obj, key)
+        if isinstance(obj, np.ndarray):
+            if is_concrete(key):
+                try:
+                    return obj[key]
+                except Exception:
+                    return UNKNOWN
+            return AbstractArray(None, str(obj.dtype))
+        if is_concrete(key):
+            try:
+                return obj[key]
+            except Exception:
+                return UNKNOWN
+        return UNKNOWN
+
+    # ----------------------------------------------------- comprehensions --
+    def _expr_ListComp(self, node: ast.ListComp, env: Env) -> Any:
+        out: List[Any] = []
+        sound = self._run_comp(node.generators, 0, env,
+                               lambda e: out.append(
+                                   self.eval_expr(node.elt, e)))
+        return out if sound else UNKNOWN
+
+    def _expr_SetComp(self, node: ast.SetComp, env: Env) -> Any:
+        out: List[Any] = []
+        sound = self._run_comp(node.generators, 0, env,
+                               lambda e: out.append(
+                                   self.eval_expr(node.elt, e)))
+        if sound and all(is_concrete(v) for v in out):
+            try:
+                return set(out)
+            except TypeError:
+                return UNKNOWN
+        return UNKNOWN
+
+    def _expr_GeneratorExp(self, node: ast.GeneratorExp, env: Env) -> Any:
+        out: List[Any] = []
+        sound = self._run_comp(node.generators, 0, env,
+                               lambda e: out.append(
+                                   self.eval_expr(node.elt, e)))
+        return out if sound else UNKNOWN
+
+    def _expr_DictComp(self, node: ast.DictComp, env: Env) -> Any:
+        out: Dict[Any, Any] = {}
+
+        def emit(e: Env) -> None:
+            key = self.eval_expr(node.key, e)
+            if is_concrete(key):
+                try:
+                    out[key] = self.eval_expr(node.value, e)
+                except TypeError:
+                    pass
+
+        sound = self._run_comp(node.generators, 0, env, emit)
+        return out if sound else UNKNOWN
+
+    def _run_comp(self, gens: Sequence[ast.comprehension], index: int,
+                  env: Env, emit: Callable[[Env], None]) -> bool:
+        """Expand one comprehension level; False means the collected items
+        are untrustworthy (unknown iterable or unknown filter) and the
+        whole comprehension value must degrade to UNKNOWN."""
+        if index >= len(gens):
+            emit(env)
+            return True
+        gen = gens[index]
+        iterable = self.eval_expr(gen.iter, env)
+        items = self._iter_items(iterable)
+        scope = Env(parent=env)
+        if items is None:
+            self.uncertain_depth += 1
+            try:
+                self._assign_target(gen.target, UNKNOWN, scope)
+                if all(self._truth(self.eval_expr(c, scope)) is not False
+                       for c in gen.ifs):
+                    self._run_comp(gens, index + 1, scope, emit)
+            finally:
+                self.uncertain_depth -= 1
+            return False
+        sound = True
+        for item in items:
+            self._assign_target(gen.target, item, scope)
+            keep = True
+            unknown_filter = False
+            for cond in gen.ifs:
+                truth = self._truth(self.eval_expr(cond, scope))
+                if truth is False:
+                    keep = False
+                    break
+                if truth is None:
+                    unknown_filter = True
+            if not keep:
+                continue
+            if unknown_filter:
+                # the item *may* be included: record its effects under
+                # uncertainty and poison the comprehension value
+                sound = False
+                self.uncertain_depth += 1
+                try:
+                    if not self._run_comp(gens, index + 1, scope, emit):
+                        sound = False
+                finally:
+                    self.uncertain_depth -= 1
+            else:
+                if not self._run_comp(gens, index + 1, scope, emit):
+                    sound = False
+        return sound
+
+    # ------------------------------------------------------------- truth --
+    def _truth(self, value: Any) -> Optional[bool]:
+        if value is UNKNOWN or isinstance(
+                value, (AbstractArray, UnknownIter, RngVal)):
+            return None
+        if isinstance(value, _WRAPPERS) or isinstance(value, MpiProxy):
+            return True
+        try:
+            return bool(value)
+        except Exception:
+            return None
+
+
+class _BoundRng:
+    """Late-bound rng method so ``rng.random`` can be passed around."""
+
+    __slots__ = ("rng", "__name__", "__self__")
+
+    def __init__(self, rng: RngVal, name: str) -> None:
+        self.rng = rng
+        self.__name__ = name
+        self.__self__ = rng
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return self.rng.call(self.__name__, args, kwargs)
+
+
+class _BoundArray:
+    """A method reference on an AbstractArray."""
+
+    __slots__ = ("arr", "name")
+
+    def __init__(self, arr: AbstractArray, name: str) -> None:
+        self.arr = arr
+        self.name = name
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        return _array_method(self.arr, self.name, args, kwargs)
+
+
+def _array_method(arr: AbstractArray, name: str, args: Tuple[Any, ...],
+                  kwargs: Dict[str, Any]) -> Any:
+    if name in ("copy", "astype", "ascontiguousarray", "conj", "round"):
+        dtype = arr.dtype
+        if name == "astype" and args:
+            d = args[0]
+            dtype = _dtype_name(d.name if isinstance(d, DtypeVal) else d)
+        return AbstractArray(arr.shape, dtype)
+    if name in ("ravel", "flatten"):
+        size = arr.size
+        return AbstractArray(None if size is None else (size,), arr.dtype)
+    if name == "reshape":
+        shape_arg: Any = args[0] if len(args) == 1 else args
+        new_shape = _reshape(arr.size, shape_arg)
+        return AbstractArray(new_shape, arr.dtype)
+    if name == "transpose":
+        if arr.shape is None:
+            return AbstractArray(None, arr.dtype)
+        if not args:
+            return AbstractArray(tuple(reversed(arr.shape)), arr.dtype)
+        order = args[0] if len(args) == 1 and isinstance(
+            args[0], (tuple, list)) else args
+        try:
+            return AbstractArray(
+                tuple(arr.shape[int(i)] for i in order), arr.dtype)
+        except Exception:
+            return AbstractArray(None, arr.dtype)
+    if name in ("sum", "mean", "max", "min", "prod", "std", "var", "dot",
+                "argmax", "argmin", "all", "any", "item", "tolist"):
+        if name == "dot" and args:
+            other = args[0]
+            other_shape = other.shape if isinstance(other, AbstractArray) \
+                else (tuple(other.shape) if isinstance(other, np.ndarray)
+                      else None)
+            return _matmul_shape(arr.shape, other_shape, arr.dtype)
+        axis = kwargs.get("axis", args[0] if args else None)
+        ax = _as_int(axis)
+        if ax is not None and arr.shape is not None and \
+                -len(arr.shape) <= ax < len(arr.shape):
+            reduced = tuple(d for i, d in enumerate(arr.shape)
+                            if i != ax % len(arr.shape))
+            return AbstractArray(reduced, arr.dtype)
+        return UNKNOWN
+    if name in ("sort", "fill", "partition"):
+        return None
+    if name == "take":
+        idx = args[0] if args else None
+        idx_shape = _as_shape(idx) if not isinstance(idx, AbstractArray) \
+            else idx.shape
+        if isinstance(idx, (int, np.integer)):
+            return UNKNOWN
+        return AbstractArray(idx_shape, arr.dtype)
+    return UNKNOWN
+
+
+def _reshape(size: Optional[int], shape_arg: Any) -> Shape:
+    if isinstance(shape_arg, (int, np.integer)):
+        shape_arg = (int(shape_arg),)
+    if not isinstance(shape_arg, (tuple, list)):
+        return None
+    dims: List[int] = []
+    neg = 0
+    for d in shape_arg:
+        di = _as_int(d)
+        if di is None:
+            return None
+        dims.append(di)
+        if di == -1:
+            neg += 1
+    if neg == 0:
+        return tuple(dims)
+    if neg > 1 or size is None:
+        return None
+    known = 1
+    for d in dims:
+        if d != -1:
+            known *= d
+    if known == 0 or size % known:
+        return None
+    return tuple(size // known if d == -1 else d for d in dims)
+
+
+def _matmul_shape(ls: Shape, rs: Shape, dtype: str) -> Any:
+    if ls is None or rs is None:
+        return AbstractArray(None, dtype)
+    if len(ls) == 1 and len(rs) == 1:
+        return UNKNOWN  # inner product: unknown scalar
+    if len(ls) == 2 and len(rs) == 1:
+        return AbstractArray((ls[0],), dtype)
+    if len(ls) == 1 and len(rs) == 2:
+        return AbstractArray((rs[1],), dtype)
+    if len(ls) == 2 and len(rs) == 2:
+        return AbstractArray((ls[0], rs[1]), dtype)
+    return AbstractArray(None, dtype)
+
+
+def _concat_shape(seq: Any, axis: Any) -> Any:
+    if not isinstance(seq, (list, tuple)) or not seq:
+        return AbstractArray(None, "float64")
+    shapes: List[Shape] = []
+    dtype = "float64"
+    for item in seq:
+        if isinstance(item, AbstractArray):
+            shapes.append(item.shape)
+            dtype = _promote(dtype, item.dtype)
+        elif isinstance(item, np.ndarray):
+            shapes.append(tuple(item.shape))
+            dtype = _promote(dtype, str(item.dtype))
+        else:
+            return AbstractArray(None, dtype)
+    ax = _as_int(axis) or 0
+    if any(s is None for s in shapes):
+        return AbstractArray(None, dtype)
+    first = shapes[0]
+    assert first is not None
+    if any(s is not None and len(s) != len(first) for s in shapes):
+        return AbstractArray(None, dtype)
+    total = 0
+    for s in shapes:
+        assert s is not None
+        if not (-len(first) <= ax < len(first)):
+            return AbstractArray(None, dtype)
+        total += s[ax % len(first)]
+    out = list(first)
+    out[ax % len(first)] = total
+    return AbstractArray(tuple(out), dtype)
+
+
+def _array_getitem(arr: AbstractArray, key: Any) -> Any:
+    if arr.shape is None:
+        return AbstractArray(None, arr.dtype)
+    index = key if isinstance(key, tuple) else (key,)
+    if any(k is Ellipsis for k in index):
+        return AbstractArray(None, arr.dtype)
+    out: List[int] = []
+    dim = 0
+    ndim = len(arr.shape)
+    for k in index:
+        if k is None:
+            out.append(1)
+            continue
+        if dim >= ndim:
+            return AbstractArray(None, arr.dtype)
+        if isinstance(k, slice):
+            try:
+                out.append(len(range(*k.indices(arr.shape[dim]))))
+            except Exception:
+                return AbstractArray(None, arr.dtype)
+            dim += 1
+            continue
+        if _as_int(k) is not None:
+            dim += 1  # integer index drops the dimension
+            continue
+        return AbstractArray(None, arr.dtype)  # mask / fancy / unknown
+    out.extend(arr.shape[dim:])
+    if not out and not any(isinstance(k, slice) or k is None for k in index):
+        return UNKNOWN  # fully-indexed scalar: value unknown
+    return AbstractArray(tuple(out), arr.dtype)
+
+
+def _assigned_names(stmt: ast.stmt) -> List[str]:
+    out: List[str] = []
+    for target in getattr(stmt, "targets", []):
+        out.extend(_target_names(target))
+    target = getattr(stmt, "target", None)
+    if isinstance(target, ast.expr):
+        out.extend(_target_names(target))
+    name = getattr(stmt, "name", None)
+    if isinstance(name, str):
+        out.append(name)
+    return out
+
+
+def _target_names(target: ast.expr) -> List[str]:
+    if isinstance(target, ast.Name):
+        return [target.id]
+    if isinstance(target, (ast.Tuple, ast.List)):
+        out: List[str] = []
+        for elt in target.elts:
+            out.extend(_target_names(elt))
+        return out
+    if isinstance(target, ast.Starred):
+        return _target_names(target.value)
+    return []
+
+
+def _block_assigned_names(body: Sequence[ast.stmt]) -> List[str]:
+    """Names (re)bound anywhere in a statement block, for loop havoc."""
+    names: List[str] = []
+
+    class _Collector(ast.NodeVisitor):
+        def visit_Assign(self, node: ast.Assign) -> None:
+            for t in node.targets:
+                names.extend(_target_names(t))
+            self.generic_visit(node)
+
+        def visit_AugAssign(self, node: ast.AugAssign) -> None:
+            names.extend(_target_names(node.target))
+            self.generic_visit(node)
+
+        def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+            names.extend(_target_names(node.target))
+            self.generic_visit(node)
+
+        def visit_For(self, node: ast.For) -> None:
+            names.extend(_target_names(node.target))
+            self.generic_visit(node)
+
+        def visit_NamedExpr(self, node: ast.NamedExpr) -> None:
+            names.extend(_target_names(node.target))
+            self.generic_visit(node)
+
+        def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+            names.append(node.name)  # don't descend into nested scopes
+
+        def visit_Lambda(self, node: ast.Lambda) -> None:
+            return None
+
+    collector = _Collector()
+    for stmt in body:
+        collector.visit(stmt)
+    seen: set[str] = set()
+    ordered: List[str] = []
+    for n in names:
+        if n not in seen:
+            seen.add(n)
+            ordered.append(n)
+    return ordered

@@ -24,11 +24,16 @@ REPRO005   mutable default argument: shared mutable state across calls is
 REPRO006   telemetry-guarded scheduling: inside ``if ...telemetry...:`` the
            code may record, never call ``schedule``/``timeout``/``succeed``/
            ``fail``/``fire`` — recording must not perturb the schedule.
+REPRO007   mutable module-level state mutated inside a kernel generator
+           body: rank programs must be pure functions of their arguments,
+           or pod-parallel runs stop being worker-count invariant.
 ========== ====================================================================
 
 Suppression: append ``# repro: allow[REPRO003]`` (comma-separated ids, or
-``*``) to the offending line, or put it on a comment line directly above,
-with a short justification.
+``*``) to the offending line — any line the violating statement spans
+works — or put it on a comment line directly above, with a short
+justification.  Unknown rule ids in a directive are reported as warnings
+rather than silently ignored.
 """
 
 from __future__ import annotations
@@ -65,6 +70,9 @@ RULES: Dict[str, Rule] = {
              "mutable default argument"),
         Rule("REPRO006", "telemetry-schedules",
              "telemetry-guarded code schedules events; recording must observe only"),
+        Rule("REPRO007", "global-state-in-kernel",
+             "module-level mutable mutated in a generator body; breaks "
+             "pod-parallel worker-count invariance"),
     )
 }
 
@@ -103,10 +111,19 @@ _TELEMETRY_NAMES = frozenset({"telemetry", "tel", "tel_span", "tel_connect"})
 
 _ALLOW_RE = re.compile(r"#\s*repro:\s*allow\[([A-Za-z0-9*,\s]+)\]")
 
+#: container methods that mutate in place (REPRO007)
+_MUTATOR_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "setdefault",
+    "pop", "popitem", "remove", "discard", "clear", "appendleft",
+    "extendleft", "sort", "reverse",
+})
+
 
 @dataclass(frozen=True)
 class LintViolation:
-    """One finding."""
+    """One finding.  ``end_line`` is the last source line the violating
+    statement spans (== ``line`` for single-line constructs); a
+    suppression directive on any spanned line covers the violation."""
 
     rule_id: str
     path: str
@@ -114,6 +131,11 @@ class LintViolation:
     col: int
     message: str
     snippet: str = ""
+    end_line: int = 0
+
+    def __post_init__(self) -> None:
+        if self.end_line < self.line:
+            object.__setattr__(self, "end_line", self.line)
 
     def format(self) -> str:
         return f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
@@ -125,6 +147,7 @@ class LintViolation:
             "path": self.path,
             "line": self.line,
             "col": self.col,
+            "end_line": self.end_line,
             "message": self.message,
             "snippet": self.snippet,
         }
@@ -138,6 +161,9 @@ class LintReport:
     suppressed: List[LintViolation] = field(default_factory=list)
     files_checked: int = 0
     parse_errors: List[str] = field(default_factory=list)
+    #: non-fatal findings about the lint directives themselves (e.g. an
+    #: unknown rule id inside ``# repro: allow[...]``)
+    warnings: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -151,6 +177,7 @@ class LintReport:
             "violations": [v.as_dict() for v in self.violations],
             "suppressed": [v.as_dict() for v in self.suppressed],
             "parse_errors": list(self.parse_errors),
+            "warnings": list(self.warnings),
             "rules": {
                 rid: {"name": rule.name, "summary": rule.summary}
                 for rid, rule in sorted(RULES.items())
@@ -161,21 +188,71 @@ class LintReport:
         return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
 
 
-def _suppressions_by_line(source: str) -> Dict[int, Set[str]]:
-    """Map line number -> set of rule ids allowed on that line.
+def _suppressions_by_line(
+    source: str, path: str = "<string>"
+) -> Tuple[Dict[int, Set[str]], List[str]]:
+    """Map line number -> set of rule ids allowed on that line, plus
+    warnings for directives naming rule ids that do not exist (those
+    suppress nothing and should not pass silently).
 
     A directive on a comment-only line also covers the next line.
     """
     allowed: Dict[int, Set[str]] = {}
+    warnings: List[str] = []
     for lineno, text in enumerate(source.splitlines(), start=1):
         m = _ALLOW_RE.search(text)
         if m is None:
             continue
         ids = {part.strip() for part in m.group(1).split(",") if part.strip()}
+        for rule_id in sorted(ids):
+            if rule_id != "*" and rule_id not in RULES:
+                warnings.append(
+                    f"{path}:{lineno}: unknown rule id {rule_id!r} in "
+                    "'# repro: allow[...]' — directive has no effect"
+                )
         allowed.setdefault(lineno, set()).update(ids)
         if text.lstrip().startswith("#"):
             allowed.setdefault(lineno + 1, set()).update(ids)
-    return allowed
+    return allowed, warnings
+
+
+#: constructor calls whose result is a mutable container
+_MUTABLE_CONSTRUCTORS = frozenset({
+    "list", "dict", "set", "bytearray", "deque", "defaultdict",
+    "OrderedDict", "Counter",
+})
+
+
+def _is_mutable_expr(node: ast.AST) -> bool:
+    """Syntactically a mutable container value."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in _MUTABLE_CONSTRUCTORS
+    return False
+
+
+#: simple (non-compound) statements: a violation anywhere inside one is
+#: suppressible by a directive on any physical line the statement spans
+#: (multi-line calls put the trailing comment on the closing-paren line)
+_SIMPLE_STMTS = (
+    ast.Assign, ast.AugAssign, ast.AnnAssign, ast.Expr,
+    ast.Return, ast.Assert, ast.Raise, ast.Delete,
+)
+
+
+def _contains_yield(node: ast.AST) -> bool:
+    """True when the function body yields (nested defs excluded)."""
+    for child in ast.iter_child_nodes(node):
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        if isinstance(child, (ast.Yield, ast.YieldFrom)):
+            return True
+        if _contains_yield(child):
+            return True
+    return False
 
 
 def _is_set_expr(node: ast.AST) -> bool:
@@ -252,16 +329,40 @@ class _FileLinter(ast.NodeVisitor):
         self._aliases: Dict[str, str] = {}
         self._set_names: Set[str] = set()
         self._telemetry_guard_depth = 0
+        #: module-level names bound to mutable containers (REPRO007)
+        self._module_mutables: Set[str] = set()
+        #: per-enclosing-function flags: True while the nearest enclosing
+        #: def is a generator (a kernel rank program)
+        self._generator_stack: List[bool] = []
+        #: names declared ``global`` per enclosing function
+        self._global_decls: List[Set[str]] = []
+        #: end line of each enclosing simple statement (directive span)
+        self._stmt_spans: List[int] = []
         #: rng rule is waived for the seed-stream factory itself
         self._rng_exempt = rel_posix.endswith("sim/rng.py")
+
+    def visit(self, node: ast.AST) -> None:
+        if isinstance(node, _SIMPLE_STMTS):
+            self._stmt_spans.append(
+                getattr(node, "end_lineno", None) or node.lineno)
+            try:
+                super().visit(node)
+            finally:
+                self._stmt_spans.pop()
+        else:
+            super().visit(node)
 
     # -- shared helpers ----------------------------------------------------
     def _emit(self, rule_id: str, node: ast.AST, message: str) -> None:
         line = getattr(node, "lineno", 1)
         col = getattr(node, "col_offset", 0)
+        end_line = getattr(node, "end_lineno", None) or line
+        if self._stmt_spans:
+            end_line = max(end_line, self._stmt_spans[-1])
         snippet = self._lines[line - 1].strip() if line <= len(self._lines) else ""
         self.violations.append(
-            LintViolation(rule_id, self.path, line, col, message, snippet)
+            LintViolation(rule_id, self.path, line, col, message, snippet,
+                          end_line=end_line)
         )
 
     def _canonical(self, node: ast.AST) -> Optional[str]:
@@ -282,6 +383,19 @@ class _FileLinter(ast.NodeVisitor):
 
     # -- prepass: imports and set-typed names ------------------------------
     def collect(self, tree: ast.AST) -> None:
+        # module-level mutable bindings (REPRO007 candidates)
+        for stmt in getattr(tree, "body", []):
+            if isinstance(stmt, ast.Assign) and _is_mutable_expr(stmt.value):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Name):
+                        self._module_mutables.add(target.id)
+            elif (
+                isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+                and stmt.value is not None
+                and _is_mutable_expr(stmt.value)
+            ):
+                self._module_mutables.add(stmt.target.id)
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for alias in node.names:
@@ -329,6 +443,19 @@ class _FileLinter(ast.NodeVisitor):
                     f".{attr}() inside a telemetry guard — recording must "
                     "never schedule events",
                 )
+        if (
+            self._in_generator
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _MUTATOR_METHODS
+            and isinstance(node.func.value, ast.Name)
+            and node.func.value.id in self._module_mutables
+        ):
+            self._emit(
+                "REPRO007", node,
+                f".{node.func.attr}() on module-level mutable "
+                f"{node.func.value.id!r} inside a generator body — rank "
+                "programs must not share module state",
+            )
         self.generic_visit(node)
 
     def _check_rng(self, node: ast.Call, dotted: str) -> None:
@@ -457,28 +584,89 @@ class _FileLinter(ast.NodeVisitor):
         for default in [*args.defaults, *args.kw_defaults]:
             if default is None:
                 continue
-            mutable = isinstance(
-                default, (ast.List, ast.Dict, ast.Set, ast.ListComp,
-                          ast.DictComp, ast.SetComp)
-            ) or (
-                isinstance(default, ast.Call)
-                and isinstance(default.func, ast.Name)
-                and default.func.id in ("list", "dict", "set", "bytearray",
-                                        "deque", "defaultdict", "OrderedDict")
-            )
-            if mutable:
+            if _is_mutable_expr(default):
                 self._emit("REPRO005", default,
                            "mutable default argument is shared across calls")
         self.generic_visit(node)
 
+    def _visit_function(self, node: ast.AST) -> None:
+        self._generator_stack.append(_contains_yield(node))
+        self._global_decls.append(set())
+        try:
+            self._check_defaults(node)
+        finally:
+            self._generator_stack.pop()
+            self._global_decls.pop()
+
     def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        self._check_defaults(node)
+        self._visit_function(node)
 
     def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
-        self._check_defaults(node)
+        self._visit_function(node)
 
     def visit_Lambda(self, node: ast.Lambda) -> None:
         self._check_defaults(node)
+
+    # -- REPRO007: module state mutated inside a kernel generator ----------
+    @property
+    def _in_generator(self) -> bool:
+        return bool(self._generator_stack) and self._generator_stack[-1]
+
+    @staticmethod
+    def _root_name(node: ast.AST) -> Optional[str]:
+        cur = node
+        while isinstance(cur, (ast.Subscript, ast.Attribute)):
+            cur = cur.value
+        return cur.id if isinstance(cur, ast.Name) else None
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if self._global_decls:
+            self._global_decls[-1].update(node.names)
+        self.generic_visit(node)
+
+    def _check_store_mutation(self, target: ast.AST, node: ast.AST) -> None:
+        """An assignment target mutating module-level state (REPRO007)."""
+        if not self._in_generator:
+            return
+        if isinstance(target, (ast.Subscript, ast.Attribute)):
+            root = self._root_name(target)
+            if root in self._module_mutables:
+                self._emit(
+                    "REPRO007", node,
+                    f"store into module-level mutable {root!r} inside a "
+                    "generator body — rank programs must not share module "
+                    "state (pod-parallel runs lose worker-count invariance)",
+                )
+        elif isinstance(target, ast.Name):
+            declared = self._global_decls[-1] if self._global_decls else set()
+            if target.id in declared and target.id in self._module_mutables:
+                self._emit(
+                    "REPRO007", node,
+                    f"rebind of global mutable {target.id!r} inside a "
+                    "generator body — rank programs must not share module "
+                    "state",
+                )
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store_mutation(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        target = node.target
+        if isinstance(target, ast.Name):
+            # plain `X += ...` on a module mutable is only legal (and
+            # only a hazard) under a `global` declaration — but either
+            # way it names shared state from a generator body
+            if self._in_generator and target.id in self._module_mutables:
+                self._emit(
+                    "REPRO007", node,
+                    f"augmented assignment to module-level mutable "
+                    f"{target.id!r} inside a generator body",
+                )
+        else:
+            self._check_store_mutation(target, node)
+        self.generic_visit(node)
 
     # -- REPRO006: telemetry guards ----------------------------------------
     def visit_If(self, node: ast.If) -> None:
@@ -496,24 +684,32 @@ class _FileLinter(ast.NodeVisitor):
 
 def lint_source(
     source: str, path: str = "<string>", rel_posix: Optional[str] = None
-) -> Tuple[List[LintViolation], List[LintViolation]]:
-    """Lint one source text; returns ``(violations, suppressed)``."""
+) -> Tuple[List[LintViolation], List[LintViolation], List[str]]:
+    """Lint one source text; returns ``(violations, suppressed, warnings)``.
+
+    A violation is suppressed when a matching directive sits on *any*
+    line the violating statement spans (multi-line calls and chained
+    expressions put the directive wherever black/ruff left room), or on
+    a comment line directly above.
+    """
     tree = ast.parse(source, filename=path)
     linter = _FileLinter(path, source, rel_posix or Path(path).as_posix())
     linter.collect(tree)
     linter.visit(tree)
-    allowed = _suppressions_by_line(source)
+    allowed, warnings = _suppressions_by_line(source, path)
     kept: List[LintViolation] = []
     suppressed: List[LintViolation] = []
     for violation in linter.violations:
-        ids = allowed.get(violation.line, set())
+        ids: Set[str] = set()
+        for lineno in range(violation.line, violation.end_line + 1):
+            ids |= allowed.get(lineno, set())
         if violation.rule_id in ids or "*" in ids:
             suppressed.append(violation)
         else:
             kept.append(violation)
     kept.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
     suppressed.sort(key=lambda v: (v.path, v.line, v.col, v.rule_id))
-    return kept, suppressed
+    return kept, suppressed, warnings
 
 
 def iter_python_files(paths: Iterable[str]) -> List[Path]:
@@ -538,7 +734,7 @@ def lint_paths(paths: Iterable[str]) -> LintReport:
             report.parse_errors.append(f"{file_path}: {exc}")
             continue
         try:
-            kept, suppressed = lint_source(
+            kept, suppressed, warnings = lint_source(
                 source, str(file_path), file_path.as_posix()
             )
         except SyntaxError as exc:
@@ -547,4 +743,5 @@ def lint_paths(paths: Iterable[str]) -> LintReport:
         report.files_checked += 1
         report.violations.extend(kept)
         report.suppressed.extend(suppressed)
+        report.warnings.extend(warnings)
     return report

@@ -31,7 +31,7 @@ from repro.telemetry import TelemetryConfig, export_chrome_trace, export_jsonl
 from repro.telemetry.critpath import BUCKET_LABELS, BUCKETS, CritPathReport, analyze
 from repro.via.profiles import profile_by_name
 
-CONNECTIONS = ("ondemand", "static-p2p", "static-cs")
+CONNECTIONS = ("ondemand", "static-p2p", "static-cs", "predicted")
 
 
 def breakdown_experiment(report: CritPathReport, title: str) -> Experiment:
@@ -107,9 +107,19 @@ def main(argv=None) -> int:
     spec.validate_nprocs(args.nprocs)
 
     program = KERNELS[args.workload](args.npb_class)
+    if args.connection == "predicted":
+        from repro.analysis.comm import predicted_peers_for
+
+        config = MpiConfig(
+            connection="predicted",
+            predicted_peers=predicted_peers_for(
+                args.workload, args.nprocs, npb_class=args.npb_class),
+        )
+    else:
+        config = MpiConfig(connection=args.connection)
     res = run_job(
         spec, args.nprocs, program,
-        config=MpiConfig(connection=args.connection),
+        config=config,
         telemetry=TelemetryConfig(),
     )
     tel = res.telemetry

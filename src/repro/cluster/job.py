@@ -437,9 +437,21 @@ def run_kernel_cell(
     spec = ClusterSpec(
         nodes=nodes, ppn=ppn, profile=profile_by_name(profile), seed=seed
     )
+    if connection == "predicted":
+        # static-analysis hybrid: MPI_Init pre-establishes the edges the
+        # comm analyzer proved for this exact (kernel, class, nprocs)
+        from repro.analysis.comm import predicted_peers_for
+
+        config = MpiConfig(
+            connection="predicted",
+            predicted_peers=predicted_peers_for(
+                kernel, nprocs, npb_class=npb_class),
+        )
+    else:
+        config = MpiConfig(connection=connection)
     res = run_job(
         spec, nprocs, KERNELS[kernel](npb_class),
-        config=MpiConfig(connection=connection),
+        config=config,
         engine=engine,
     )
     cell: Dict[str, Any] = {

@@ -445,7 +445,17 @@ class ClusterScheduler:
         job = running.job
         engine = self.engine
         nprocs = job.nprocs
-        config = MpiConfig(connection=job.connection)
+        if job.connection == "predicted":
+            # inject the analyzed communication graph the admission
+            # decision was made against (lazy import, as in workload)
+            from repro.analysis.comm import predicted_peers_for
+
+            config = MpiConfig(
+                connection="predicted",
+                predicted_peers=predicted_peers_for(job.kernel, nprocs),
+            )
+        else:
+            config = MpiConfig(connection=job.connection)
         vi_config = ViConfig(
             prepost_count=config.prepost_count,
             send_pool_count=config.send_pool_count,

@@ -124,7 +124,23 @@ class JobSpec:
     def vi_reserve_per_proc(self) -> int:
         """VIs the scheduler reserves per process of this job: the
         static MPI_Init demand or the kernel's analytic on-demand bound,
-        whichever binds."""
+        whichever binds.
+
+        ``connection="predicted"`` admits against the statically analyzed
+        communication graph instead (:mod:`repro.analysis.comm`): the
+        graph is a proven upper bound on what the predicted manager will
+        connect, so admission can be exactly as tight as the analysis.
+        """
+        if self.connection == "predicted":
+            # lazy import: admission math must not drag the analyzer
+            # (and numpy's AST walk) into plain scheduler runs
+            from repro.analysis.comm import predicted_vi_demand
+
+            return init_vi_demand(
+                self.connection, self.nprocs,
+                predicted_degree=predicted_vi_demand(
+                    self.kernel, self.nprocs),
+            )
         return max(
             init_vi_demand(self.connection, self.nprocs),
             CLUSTER_KERNELS[self.kernel].vi_demand(self.nprocs),

@@ -5,7 +5,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 #: valid connection-manager names
-CONNECTION_MODES = ("ondemand", "static-p2p", "static-cs")
+CONNECTION_MODES = ("ondemand", "static-p2p", "static-cs", "predicted")
 #: valid completion styles
 COMPLETION_MODES = ("polling", "spinwait")
 
@@ -42,6 +42,14 @@ class MpiConfig:
     """
 
     connection: str = "ondemand"
+    #: per-rank connection peers for ``connection="predicted"``: rank ``r``
+    #: pre-establishes VIs to ``predicted_peers[r]`` during ``MPI_Init`` —
+    #: the statically analyzed communication graph
+    #: (:func:`repro.analysis.comm.predicted_peers_for`).  The graph must
+    #: be symmetric (the VIA peer-to-peer handshake needs both endpoints
+    #: to request); an unpredicted peer still connects lazily on first
+    #: use, on-demand style, so a sound over-approximation is enough.
+    predicted_peers: tuple[tuple[int, ...], ...] | None = None
     completion: str = "polling"
     eager_threshold: int = 5000
     spincount: int = 100
@@ -82,6 +90,23 @@ class MpiConfig:
         if self.connection not in CONNECTION_MODES:
             raise ValueError(
                 f"connection must be one of {CONNECTION_MODES}, got {self.connection!r}"
+            )
+        if self.connection == "predicted":
+            if self.predicted_peers is None:
+                raise ValueError(
+                    "connection='predicted' needs predicted_peers (use "
+                    "repro.analysis.comm.predicted_peers_for)"
+                )
+            for rank, peers in enumerate(self.predicted_peers):
+                for peer in peers:
+                    if not isinstance(peer, int) or peer < 0:
+                        raise ValueError(
+                            f"predicted_peers[{rank}] holds {peer!r}; "
+                            "peers must be non-negative rank numbers"
+                        )
+        elif self.predicted_peers is not None:
+            raise ValueError(
+                "predicted_peers only applies to connection='predicted'"
             )
         if self.completion not in COMPLETION_MODES:
             raise ValueError(

@@ -12,10 +12,17 @@ Three policies plug into the ADI:
 * :class:`~repro.mpi.conn.static_cs.StaticClientServerConnectionManager`
   — the serialized client/server static setup the paper measures in
   Figure 8(a).
+* :class:`~repro.mpi.conn.predicted.PredictedConnectionManager` — the
+  static-analysis hybrid: ``MPI_Init`` pre-establishes exactly the edges
+  the communication-graph analyzer proved (``MpiConfig.predicted_peers``),
+  with an on-demand fallback for mispredictions.
 """
+
+from typing import Optional
 
 from repro.mpi.conn.base import BaseConnectionManager
 from repro.mpi.conn.ondemand import OnDemandConnectionManager
+from repro.mpi.conn.predicted import PredictedConnectionManager
 from repro.mpi.conn.static_p2p import StaticPeerToPeerConnectionManager
 from repro.mpi.conn.static_cs import StaticClientServerConnectionManager
 
@@ -24,6 +31,7 @@ _MANAGERS = {
     "ondemand": OnDemandConnectionManager,
     "static-p2p": StaticPeerToPeerConnectionManager,
     "static-cs": StaticClientServerConnectionManager,
+    "predicted": PredictedConnectionManager,
 }
 
 
@@ -35,18 +43,31 @@ def make_connection_manager(name: str, adi) -> BaseConnectionManager:
         raise ValueError(f"unknown connection manager {name!r}") from None
 
 
-def init_vi_demand(name: str, nprocs: int) -> int:
+def init_vi_demand(name: str, nprocs: int,
+                   predicted_degree: Optional[int] = None) -> int:
     """Per-process MPI_Init VI demand of mechanism ``name`` in an
-    ``nprocs``-rank job — the scheduler's admission-control charge."""
+    ``nprocs``-rank job — the scheduler's admission-control charge.
+
+    For the ``predicted`` mechanism the demand is the analyzed graph's
+    maximum degree when the caller supplies it (graph-checked admission:
+    :func:`repro.analysis.comm.predicted_vi_demand`); without a graph the
+    charge degrades to the full-mesh worst case.
+    """
     try:
-        return _MANAGERS[name].init_vi_demand(nprocs)
+        manager = _MANAGERS[name]
     except KeyError:
         raise ValueError(f"unknown connection manager {name!r}") from None
+    if name == "predicted" and predicted_degree is not None:
+        if predicted_degree < 0:
+            raise ValueError("predicted_degree must be >= 0")
+        return min(predicted_degree, max(0, nprocs - 1))
+    return manager.init_vi_demand(nprocs)
 
 
 __all__ = [
     "BaseConnectionManager",
     "OnDemandConnectionManager",
+    "PredictedConnectionManager",
     "StaticPeerToPeerConnectionManager",
     "StaticClientServerConnectionManager",
     "make_connection_manager",

@@ -14,6 +14,13 @@ from repro.analysis.__main__ import main as analysis_main
 
 def check(code):
     """Lint a dedented snippet; returns (violations, suppressed)."""
+    violations, suppressed, _ = lint_source(
+        textwrap.dedent(code), path="snippet.py", rel_posix="snippet.py")
+    return violations, suppressed
+
+
+def check_full(code):
+    """Like :func:`check` but also returns the directive warnings."""
     return lint_source(textwrap.dedent(code), path="snippet.py",
                        rel_posix="snippet.py")
 
@@ -109,7 +116,8 @@ class TestUnseededRng:
             import numpy as np
             gen = np.random.default_rng()
         """)
-        bad, _ = lint_source(code, path="rng.py", rel_posix="src/repro/sim/rng.py")
+        bad, _, _ = lint_source(code, path="rng.py",
+                                rel_posix="src/repro/sim/rng.py")
         assert bad == []
 
 
@@ -266,11 +274,171 @@ class TestTelemetrySchedules:
         assert bad == []
 
 
+class TestGlobalStateInKernel:
+    """REPRO007: module-level mutable state mutated inside a kernel
+    generator body.  Rank programs must be pure functions of their
+    arguments or sharded/pod-parallel replays diverge by worker count."""
+
+    def test_append_in_generator_flagged(self):
+        bad, _ = check("""
+            HISTORY = []
+            def kernel(mpi):
+                HISTORY.append(mpi.rank)
+                yield from mpi.barrier()
+        """)
+        assert rule_ids(bad) == ["REPRO007"]
+        assert "HISTORY" in bad[0].message
+
+    def test_dict_store_and_augassign_flagged(self):
+        bad, _ = check("""
+            CACHE = {}
+            TOTALS = dict()
+            def kernel(mpi):
+                CACHE[mpi.rank] = 1
+                yield from mpi.barrier()
+            def other(mpi):
+                TOTALS["x"] = TOTALS.get("x", 0) + 1
+                yield from mpi.barrier()
+        """)
+        assert rule_ids(bad) == ["REPRO007", "REPRO007"]
+
+    def test_global_rebind_flagged(self):
+        bad, _ = check("""
+            STATE = set()
+            def kernel(mpi):
+                global STATE
+                STATE = set()
+                yield from mpi.barrier()
+        """)
+        assert rule_ids(bad) == ["REPRO007"]
+
+    def test_local_shadow_and_plain_function_are_fine(self):
+        bad, _ = check("""
+            LIMITS = [1, 2, 3]
+            def kernel(mpi):
+                local = []
+                local.append(mpi.rank)
+                yield from mpi.barrier()
+            def helper():
+                # not a generator: free to build module tables at import
+                LIMITS.append(4)
+        """)
+        assert bad == []
+
+    def test_read_only_module_constant_is_fine(self):
+        bad, _ = check("""
+            SIZES = [64, 256, 1024]
+            def kernel(mpi):
+                for size in SIZES:
+                    yield from mpi.barrier()
+        """)
+        assert bad == []
+
+    def test_nested_def_yield_does_not_make_outer_a_generator(self):
+        bad, _ = check("""
+            LOG = []
+            def outer():
+                LOG.append(1)
+                def inner():
+                    yield 1
+                return inner
+        """)
+        assert bad == []
+
+    def test_allow_suppression_works(self):
+        bad, suppressed = check("""
+            TRACE = []
+            def kernel(mpi):
+                TRACE.append(mpi.rank)  # repro: allow[REPRO007] test probe
+                yield from mpi.barrier()
+        """)
+        assert bad == []
+        assert rule_ids(suppressed) == ["REPRO007"]
+
+
+class TestAllowDirectiveEdgeCases:
+    def test_multiple_ids_in_one_comment(self):
+        bad, suppressed = check("""
+            import time
+            def f(out=[]):
+                return time.time(), out  # repro: allow[REPRO001, REPRO005]
+        """)
+        # REPRO005 anchors on the def line, one above the comment — only
+        # REPRO001 (on the return line) is spanned by the directive
+        assert rule_ids(bad) == ["REPRO005"]
+        assert rule_ids(suppressed) == ["REPRO001"]
+
+    def test_multiple_ids_suppress_two_rules_same_line(self):
+        bad, suppressed = check("""
+            import time
+            # repro: allow[REPRO001, REPRO005]
+            def f(out=[]):
+                start = time.time()
+                return start, out
+        """)
+        # the comment-above form suppresses the def-line REPRO005; the
+        # wall-clock read two lines below is NOT spanned and still fires
+        assert rule_ids(bad) == ["REPRO001"]
+        assert rule_ids(suppressed) == ["REPRO005"]
+
+    def test_unknown_rule_id_warns_not_silently_ignored(self):
+        bad, suppressed, warnings = check_full("""
+            import time
+            start = time.time()  # repro: allow[REPRO099]
+        """)
+        # the violation still fires — the directive names no real rule
+        assert rule_ids(bad) == ["REPRO001"]
+        assert suppressed == []
+        assert len(warnings) == 1
+        assert "REPRO099" in warnings[0]
+        assert "unknown rule id" in warnings[0]
+
+    def test_unknown_id_alongside_known_still_suppresses_known(self):
+        bad, suppressed, warnings = check_full("""
+            import time
+            start = time.time()  # repro: allow[REPRO099, REPRO001]
+        """)
+        assert bad == []
+        assert rule_ids(suppressed) == ["REPRO001"]
+        assert len(warnings) == 1 and "REPRO099" in warnings[0]
+
+    def test_suppression_spans_continuation_lines(self):
+        # the violating expression starts on one line but the directive
+        # sits on the statement's last physical line; the [line, end_line]
+        # span must still match
+        bad, suppressed = check("""
+            import time
+            elapsed = (
+                time.time()
+                - 0.0
+            )  # repro: allow[REPRO001] host-side stopwatch
+        """)
+        assert bad == []
+        assert rule_ids(suppressed) == ["REPRO001"]
+
+    def test_wildcard_allows_everything_on_the_line(self):
+        bad, suppressed = check("""
+            import time
+            start = time.time()  # repro: allow[*]
+        """)
+        assert bad == []
+        assert rule_ids(suppressed) == ["REPRO001"]
+
+    def test_warnings_surface_in_report(self, tmp_path):
+        f = tmp_path / "w.py"
+        f.write_text("x = 1  # repro: allow[NOPE01]\n")
+        report = lint_paths([str(f)])
+        assert report.ok
+        assert len(report.warnings) == 1
+        doc = json.loads(report.to_json())
+        assert doc["warnings"] == report.warnings
+
+
 class TestReportAndCli:
     def test_rule_catalogue_is_stable(self):
         assert sorted(RULES) == [
-            "REPRO001", "REPRO002", "REPRO003",
-            "REPRO004", "REPRO005", "REPRO006",
+            "REPRO001", "REPRO002", "REPRO003", "REPRO004",
+            "REPRO005", "REPRO006", "REPRO007",
         ]
 
     def test_lint_paths_and_json_shape(self, tmp_path):
@@ -302,6 +470,23 @@ class TestReportAndCli:
         bad = tmp_path / "bad.py"
         bad.write_text("import time\ny = time.time()\n")
         assert analysis_main(["lint", str(bad)]) == 1
+
+    def test_cli_github_format_annotations(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import time\n"
+            "y = time.time()\n"
+            "z = 1  # repro: allow[REPRO404]\n"
+        )
+        assert analysis_main(["lint", "--format", "github", str(bad)]) == 1
+        out = capsys.readouterr().out
+        error_lines = [l for l in out.splitlines() if l.startswith("::error ")]
+        assert len(error_lines) == 1
+        assert f"file={bad}" in error_lines[0]
+        assert "line=2" in error_lines[0]
+        assert "title=REPRO001 wall-clock" in error_lines[0]
+        warn_lines = [l for l in out.splitlines() if l.startswith("::warning ")]
+        assert len(warn_lines) == 1 and "REPRO404" in warn_lines[0]
 
     def test_cli_syntax_error_fails(self, tmp_path):
         broken = tmp_path / "broken.py"

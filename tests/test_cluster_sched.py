@@ -287,7 +287,7 @@ class TestLintCoverage:
             "    rng = np.random.default_rng()\n"
             "    return rng.exponential(mean, n)\n"
         )
-        violations, _ = lint_source(
+        violations, _, _ = lint_source(
             source, path="src/repro/cluster/workload.py",
             rel_posix="src/repro/cluster/workload.py")
         assert any(v.rule_id == "REPRO002" for v in violations)

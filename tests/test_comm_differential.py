@@ -1,0 +1,60 @@
+"""Differential gate between the static analyzer and the runtime: every
+edge the flow tracer observes must be inside the predicted graph, and a
+predicted-connection run of the golden cell must show zero connect stall
+with no more VIs than on-demand."""
+
+import pytest
+
+from repro.analysis import check_observed_subset, predicted_peers_for
+from repro.cluster import ClusterSpec, run_job
+from repro.mpi import MpiConfig
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.critpath import analyze as analyze_critical_path
+from repro.via.profiles import CLAN
+
+GOLDEN_KERNELS = ("cg", "ep", "ft", "is", "lu", "mg", "sp")
+
+
+def _golden_run(kernel, connection):
+    from repro.apps.npb import KERNELS
+
+    spec = ClusterSpec(nodes=4, ppn=1, profile=CLAN, seed=0)
+    if connection == "predicted":
+        config = MpiConfig(connection="predicted",
+                           predicted_peers=predicted_peers_for(kernel, 4))
+    else:
+        config = MpiConfig(connection=connection)
+    return run_job(spec, 4, KERNELS[kernel]("S"), config,
+                   telemetry=TelemetryConfig())
+
+
+class TestObservedSubsetOfPredicted:
+    @pytest.mark.parametrize("kernel", ("cg", "mg"))
+    def test_npb_golden_cell(self, kernel):
+        diff = check_observed_subset(kernel, 4, nodes=4, ppn=1)
+        assert diff["ok"], diff["violations"]
+        assert diff["observed_edges"]
+        # the analyzer is not just sound but tight: the runtime's max
+        # out-degree equals the predicted max degree
+        assert diff["observed_max_out_degree"] == diff["predicted_max_degree"]
+
+    def test_pingpong(self):
+        diff = check_observed_subset("pingpong", 2)
+        assert diff["ok"]
+        assert diff["predicted_max_degree"] == 1
+
+
+class TestPredictedGoldenCell:
+    @pytest.mark.parametrize("kernel", GOLDEN_KERNELS)
+    def test_zero_connect_stall_and_vi_parity(self, kernel):
+        pred = _golden_run(kernel, "predicted")
+        report = analyze_critical_path(pred.telemetry)
+        assert report.messages > 0
+        assert report.totals()["connect_us"] == 0.0
+
+        od = _golden_run(kernel, "ondemand")
+        for node in range(4):
+            gauge = f"nic.n{node}.vi_high_water"
+            pred_hw = pred.telemetry.metrics.gauge(gauge).value
+            od_hw = od.telemetry.metrics.gauge(gauge).value
+            assert pred_hw <= od_hw, (kernel, node, pred_hw, od_hw)

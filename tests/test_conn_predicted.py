@@ -1,0 +1,163 @@
+"""The ``predicted`` connection mechanism: graph-driven pre-connection
+during MPI_Init, lazy on-demand fallback on mispredictions, and the
+graph-checked VI-quota admission path."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import predicted_peers_for, predicted_vi_demand
+from repro.mpi import MpiConfig
+from repro.mpi.conn import init_vi_demand
+from repro.telemetry import TelemetryConfig
+from repro.telemetry.critpath import analyze as analyze_critical_path
+
+from tests.mpi_rig import run
+
+
+def ring_program(mpi, rounds=3):
+    right = (mpi.rank + 1) % mpi.size
+    left = (mpi.rank - 1) % mpi.size
+    buf = np.empty(4)
+    for _ in range(rounds):
+        yield from mpi.sendrecv(np.full(4, float(mpi.rank)), right, buf, left)
+
+
+def ring_peers(nprocs):
+    return tuple(
+        tuple(sorted({(r + 1) % nprocs, (r - 1) % nprocs}))
+        for r in range(nprocs)
+    )
+
+
+class TestConfigValidation:
+    def test_predicted_requires_peers(self):
+        with pytest.raises(ValueError, match="predicted_peers"):
+            MpiConfig(connection="predicted")
+
+    def test_peers_require_predicted(self):
+        with pytest.raises(ValueError):
+            MpiConfig(connection="ondemand", predicted_peers=((1,), (0,)))
+
+    def test_negative_peer_rejected(self):
+        with pytest.raises(ValueError):
+            MpiConfig(connection="predicted", predicted_peers=((-2,), (0,)))
+
+
+class TestPreConnection:
+    def test_ring_preconnects_exactly_the_graph(self):
+        res = run(ring_program, nprocs=8, connection="predicted",
+                  predicted_peers=ring_peers(8))
+        assert res.resources.avg_vis == 2.0
+        assert res.resources.utilization == 1.0
+
+    def test_no_connect_stall_on_any_message(self):
+        res = run(ring_program, nprocs=8, connection="predicted",
+                  predicted_peers=ring_peers(8),
+                  telemetry=TelemetryConfig())
+        report = analyze_critical_path(res.telemetry)
+        assert report.messages > 0
+        assert report.totals()["connect_us"] == 0.0
+
+    def test_connect_moves_off_the_message_path(self):
+        pred = run(ring_program, nprocs=8, connection="predicted",
+                   predicted_peers=ring_peers(8))
+        od = run(ring_program, nprocs=8, connection="ondemand")
+        # same steady-state VI footprint, but on-demand pays the
+        # handshake on the critical path of the first messages while
+        # predicted pays it inside MPI_Init
+        assert od.resources.avg_vis == pred.resources.avg_vis
+        pred_post_init = pred.total_time_us - pred.max_init_time_us
+        od_post_init = od.total_time_us - od.max_init_time_us
+        assert pred_post_init < od_post_init
+
+    def test_init_pays_for_the_preconnect(self):
+        pred = run(ring_program, nprocs=8, connection="predicted",
+                   predicted_peers=ring_peers(8))
+        od = run(ring_program, nprocs=8, connection="ondemand")
+        assert pred.avg_init_time_us > od.avg_init_time_us
+
+
+class TestMisprediction:
+    def test_unpredicted_peer_falls_back_to_ondemand(self):
+        # predict an empty graph: every real message is a misprediction
+        # but the run must still complete (lazy on-demand fallback)
+        empty = tuple(() for _ in range(4))
+        res = run(ring_program, nprocs=4, connection="predicted",
+                  predicted_peers=empty, telemetry=TelemetryConfig())
+        assert res.resources.avg_vis == 2.0
+        miss = res.telemetry.metrics.counter(
+            "conn.predicted.mispredictions").value
+        assert miss > 0
+
+    def test_correct_graph_has_zero_mispredictions(self):
+        res = run(ring_program, nprocs=4, connection="predicted",
+                  predicted_peers=ring_peers(4),
+                  telemetry=TelemetryConfig())
+        assert res.telemetry.metrics.counter(
+            "conn.predicted.mispredictions").value == 0
+
+
+class TestWildcardReceive:
+    def test_any_source_served_by_predicted_peers(self):
+        from repro.mpi.constants import ANY_SOURCE
+
+        def prog(mpi):
+            buf = np.empty(2)
+            if mpi.rank == 0:
+                yield from mpi.recv(buf, ANY_SOURCE)
+            elif mpi.rank == 1:
+                yield from mpi.send(np.zeros(2), 0)
+            return None
+
+        res = run(prog, nprocs=2, connection="predicted",
+                  predicted_peers=((1,), (0,)),
+                  telemetry=TelemetryConfig())
+        assert res.telemetry.metrics.counter(
+            "conn.predicted.mispredictions").value == 0
+
+
+class TestGraphCheckedAdmission:
+    def test_init_vi_demand_uses_predicted_degree(self):
+        assert init_vi_demand("predicted", 8, predicted_degree=3) == 3
+        # degree is clamped to the full mesh
+        assert init_vi_demand("predicted", 4, predicted_degree=99) == 3
+        # no graph: conservative full mesh, same as static-p2p
+        assert init_vi_demand("predicted", 8) == 7
+        with pytest.raises(ValueError):
+            init_vi_demand("predicted", 8, predicted_degree=-1)
+
+    def test_jobspec_reserves_the_graph_degree(self):
+        from repro.cluster.workload import JobSpec
+
+        predicted = JobSpec(job_id=0, kernel="ring", nprocs=8, arrival_us=0.0,
+                            connection="predicted")
+        mesh = JobSpec(job_id=1, kernel="ring", nprocs=8, arrival_us=0.0,
+                       connection="static-p2p")
+        assert predicted.vi_reserve_per_proc == predicted_vi_demand("ring", 8)
+        assert predicted.vi_reserve_per_proc < mesh.vi_reserve_per_proc
+
+    def test_scheduler_runs_predicted_jobs(self):
+        from repro.cluster import ClusterSpec
+        from repro.cluster.sched import run_cluster
+        from repro.cluster.workload import JobSpec
+        from repro.via.profiles import CLAN
+
+        spec = ClusterSpec(nodes=4, ppn=2, profile=CLAN, seed=0)
+        jobs = [
+            JobSpec(job_id=0, kernel="ring", nprocs=4, arrival_us=0.0,
+                    connection="predicted"),
+            JobSpec(job_id=1, kernel="pingpong", nprocs=2, arrival_us=10.0,
+                    connection="ondemand"),
+        ]
+        result = run_cluster(spec, jobs)
+        assert len(result.records) == 2
+        by_id = {rec.job_id: rec for rec in result.records}
+        assert by_id[0].connection == "predicted"
+        assert by_id[0].vi_reserve_per_proc == predicted_vi_demand("ring", 4)
+        for rec in result.records:
+            assert rec.turnaround_us > 0
+
+
+class TestAnalyzerFeedsRuntime:
+    def test_predicted_peers_for_matches_manual_ring(self):
+        assert predicted_peers_for("ring", 4) == ring_peers(4)

@@ -67,7 +67,7 @@ def test_lint_catches_telemetry_guarded_scheduling():
         "        pkt.flow_id = self.telemetry.new_flow()\n"
         "        engine.schedule(0.0, None)\n"
     )
-    violations, _ = lint_source(unsafe, path="flowtag.py")
+    violations, _, _ = lint_source(unsafe, path="flowtag.py")
     assert "REPRO006" in {v.rule_id for v in violations}
     # the guarded recording alone is fine — only scheduling fires
     safe = (
@@ -75,7 +75,7 @@ def test_lint_catches_telemetry_guarded_scheduling():
         "    if self.telemetry is not None:\n"
         "        pkt.flow_id = self.telemetry.new_flow()\n"
     )
-    ok_violations, _ = lint_source(safe, path="flowtag.py")
+    ok_violations, _, _ = lint_source(safe, path="flowtag.py")
     assert not ok_violations
 
 
@@ -92,12 +92,12 @@ def test_lint_catches_unsafe_merge_loop_patterns():
         "def tie_break(a, b):\n"
         "    return random.choice([a, b])\n"
     )
-    violations, _ = lint_source(unsafe, path="merge.py")
+    violations, _, _ = lint_source(unsafe, path="merge.py")
     rules = {v.rule_id for v in violations}
     assert "REPRO002" in rules
     # the set-iteration rule fires when the iterable is provably a set
     set_loop = "for shard in {0, 1, 2}:\n    pass\n"
-    v2, _ = lint_source(set_loop, path="merge.py")
+    v2, _, _ = lint_source(set_loop, path="merge.py")
     assert "REPRO003" in {v.rule_id for v in v2}
 
 
