@@ -23,7 +23,6 @@ tracing to assert observed edges are a subset of the predicted ones.
 
 from __future__ import annotations
 
-import importlib
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
@@ -42,6 +41,8 @@ from repro.analysis.interp import (
     Interp,
     MpiProxy,
 )
+from repro.workloads import registry as _registry
+from repro.workloads.trace import CommTrace
 
 __all__ = [
     "KernelSpec",
@@ -49,6 +50,7 @@ __all__ = [
     "AnalysisError",
     "analyze_kernel",
     "analyze_source",
+    "analyze_trace",
     "predicted_peers_for",
     "predicted_vi_demand",
     "observed_edges",
@@ -68,42 +70,26 @@ class KernelSpec:
     npb_class_arg: bool = False
 
 
-#: Every kernel the analyzer knows how to build.  The micro entries mirror
-#: ``repro.cluster.workload.CLUSTER_KERNELS`` factory arguments exactly, so
-#: scheduler admission for those jobs can use the analyzed graph.
-COMM_KERNELS: Dict[str, KernelSpec] = {
-    # NPB kernels (factory(npb_class))
-    "cg": KernelSpec("repro.apps.npb.cg", "make_cg", npb_class_arg=True),
-    "mg": KernelSpec("repro.apps.npb.mg", "make_mg", npb_class_arg=True),
-    "is": KernelSpec("repro.apps.npb.is_", "make_is", npb_class_arg=True),
-    "ep": KernelSpec("repro.apps.npb.ep", "make_ep", npb_class_arg=True),
-    "sp": KernelSpec("repro.apps.npb.sp", "make_sp", npb_class_arg=True),
-    "bt": KernelSpec("repro.apps.npb.sp", "make_bt", npb_class_arg=True),
-    "ft": KernelSpec("repro.apps.npb.ft", "make_ft", npb_class_arg=True),
-    "lu": KernelSpec("repro.apps.npb.lu", "make_lu", npb_class_arg=True),
-    # micro kernels with the cluster-workload parameterization
-    "pingpong": KernelSpec(
-        "repro.apps.micro", "pingpong",
-        kwargs=(("sizes", (64,)), ("iterations", 3), ("warmup", 1))),
-    "ring": KernelSpec(
-        "repro.apps.micro", "ring",
-        kwargs=(("rounds", 3), ("elements", 32))),
-    "alltoall": KernelSpec(
-        "repro.apps.micro", "alltoall_loop",
-        kwargs=(("iterations", 3), ("elements_per_peer", 2))),
-    "allreduce": KernelSpec(
-        "repro.apps.micro", "allreduce_latency",
-        kwargs=(("iterations", 3), ("elements", 4))),
-    "barrier": KernelSpec(
-        "repro.apps.micro", "barrier_latency",
-        kwargs=(("iterations", 5),)),
-    # ASCI communication-pattern generators
-    "sppm": KernelSpec("repro.apps.patterns.generators", "make_sppm"),
-    "smg2000": KernelSpec("repro.apps.patterns.generators", "make_smg2000"),
-    "sphot": KernelSpec("repro.apps.patterns.generators", "make_sphot"),
-    "sweep3d": KernelSpec("repro.apps.patterns.generators", "make_sweep3d"),
-    "samrai": KernelSpec("repro.apps.patterns.generators", "make_samrai"),
-}
+#: Every kernel the analyzer knows how to build — a live mirror of
+#: :data:`repro.workloads.registry.KERNEL_DEFS` (the single source of
+#: truth), so the analyzer's parameterization can never drift from the
+#: runtime's.  Trace-backed kernels appear with the ``<trace>`` module
+#: sentinel; :func:`analyze_kernel` derives their graph from the
+#: recorded timeline instead of source.
+COMM_KERNELS: Dict[str, KernelSpec] = {}
+
+
+def _mirror_kernel_def(defn: "_registry.KernelDef") -> None:
+    if defn.trace is not None:
+        COMM_KERNELS[defn.name] = KernelSpec(
+            module="<trace>", factory=defn.name)
+    else:
+        COMM_KERNELS[defn.name] = KernelSpec(
+            module=defn.module or "", factory=defn.factory or "",
+            kwargs=defn.kwargs, npb_class_arg=defn.npb_class_arg)
+
+
+_registry.attach_mirror(_mirror_kernel_def)
 
 
 # ------------------------------------------------------------------------
@@ -613,9 +599,20 @@ def _build_graph(kernel: str, nprocs: int, params: Dict[str, Any],
 
 def analyze_kernel(kernel: str, nprocs: int,
                    npb_class: str = "S") -> CommGraph:
-    """Statically predict the communication graph of a registered kernel."""
+    """Predict the communication graph of a registered kernel.
+
+    Source-backed kernels are abstractly interpreted; trace-backed
+    kernels (registered captures) fold the recorded timeline directly.
+    """
     if nprocs < 1:
         raise ValueError(f"nprocs must be >= 1, got {nprocs}")
+    defn = _registry.KERNEL_DEFS.get(kernel)
+    if defn is not None and defn.trace is not None:
+        if nprocs != defn.trace.nprocs:
+            raise ValueError(
+                f"trace kernel {kernel!r} was captured at "
+                f"{defn.trace.nprocs} ranks; cannot analyze at {nprocs}")
+        return analyze_trace(defn.trace, kernel=kernel)
     spec = COMM_KERNELS.get(kernel)
     if spec is None:
         known = ", ".join(sorted(COMM_KERNELS))
@@ -629,6 +626,79 @@ def analyze_kernel(kernel: str, nprocs: int,
     if spec.npb_class_arg:
         params["npb_class"] = npb_class
     return _build_graph(kernel, nprocs, params, per_rank)
+
+
+def _trace_events(rank_ops: Sequence[Dict[str, Any]]) -> List[Event]:
+    """One rank's trace records as analyzer events.
+
+    Send events are emitted at the ``isend`` position (posting makes a
+    send eligible), but receive events are deferred to the ``wait`` /
+    ``waitall`` that completes them: the matching simulation treats a
+    recv as blocking at its stream position, and a sendrecv decomposes
+    into isend+irecv+waitall — emitting the recv at post time would
+    fabricate REPROC02 deadlocks the real run cannot have.  Requests the
+    program never waited on (e.g. completed via ``test``) land at
+    stream end, the most permissive position.
+    """
+    events: List[Event] = []
+    pending: Dict[int, MsgEvent] = {}
+    for rec in rank_ops:
+        op = rec["op"]
+        if op == "isend":
+            tag = rec["tag"]
+            events.append(MsgEvent(
+                op="send", peer=rec["peer"], wildcard=False,
+                tag=tag if tag >= 0 else None, nbytes=rec["nb"],
+                certain=True, line=None))
+        elif op == "irecv":
+            peer = rec["peer"]
+            tag = rec["tag"]
+            wildcard = peer < 0
+            pending[rec["req"]] = MsgEvent(
+                op="recv", peer=None if wildcard else peer,
+                wildcard=wildcard, tag=None if tag < 0 else tag,
+                nbytes=rec["nb"], certain=True, line=None)
+        elif op == "wait":
+            done = pending.pop(rec["req"], None)
+            if done is not None:
+                events.append(done)
+        elif op == "waitall":
+            for serial in rec["reqs"]:
+                done = pending.pop(serial, None)
+                if done is not None:
+                    events.append(done)
+        elif op == "probe":
+            peer = rec["peer"]
+            tag = rec["tag"]
+            wildcard = peer < 0
+            events.append(MsgEvent(
+                op="probe", peer=None if wildcard else peer,
+                wildcard=wildcard, tag=None if tag < 0 else tag,
+                nbytes=None, certain=True, line=None))
+        elif op == "coll":
+            events.append(CollEvent(
+                kind=rec["kind"], root=rec.get("root"),
+                nbytes=rec.get("nb"), certain=True, line=None))
+        # "test" and "compute" carry no graph information
+    for serial in sorted(pending):
+        events.append(pending[serial])
+    return events
+
+
+def analyze_trace(trace: CommTrace, kernel: Optional[str] = None) -> CommGraph:
+    """Fold a captured timeline into a :class:`CommGraph`.
+
+    Unlike abstract interpretation the timeline is one concrete
+    execution, so every event is certain, the matching simulation always
+    runs, and the graph is exact for that run (a lower bound rather than
+    an upper bound on what other seeds might do — captured traffic *is*
+    the workload being replayed).
+    """
+    trace.validate()
+    per_rank = [_trace_events(rank_ops) for rank_ops in trace.ops]
+    params: Dict[str, Any] = {"trace_digest": trace.digest()}
+    return _build_graph(kernel or trace.kernel, trace.nprocs, params,
+                        per_rank)
 
 
 def analyze_source(source: str, factory: str, nprocs: int,
@@ -647,8 +717,22 @@ def analyze_source(source: str, factory: str, nprocs: int,
 
 
 @lru_cache(maxsize=256)
-def _cached_graph(kernel: str, nprocs: int, npb_class: str) -> CommGraph:
+def _cached_source_graph(kernel: str, nprocs: int,
+                         npb_class: str) -> CommGraph:
     return analyze_kernel(kernel, nprocs, npb_class=npb_class)
+
+
+def _cached_graph(kernel: str, nprocs: int, npb_class: str) -> CommGraph:
+    """Graph lookup with caching for source-backed kernels only.
+
+    Trace-backed kernels bypass the lru_cache: a re-registration under
+    the same name must never serve a stale graph, and folding a trace
+    is cheap next to abstract interpretation.
+    """
+    defn = _registry.KERNEL_DEFS.get(kernel)
+    if defn is not None and defn.trace is not None:
+        return analyze_kernel(kernel, nprocs, npb_class=npb_class)
+    return _cached_source_graph(kernel, nprocs, npb_class)
 
 
 def predicted_peers_for(kernel: str, nprocs: int,
@@ -693,13 +777,7 @@ def check_observed_subset(
 
     graph = _cached_graph(kernel, nprocs, npb_class)
     spec = COMM_KERNELS[kernel]
-    factory_kwargs = dict(spec.kwargs)
-    module = importlib.import_module(spec.module)
-    factory = getattr(module, spec.factory)
-    if spec.npb_class_arg:
-        program = factory(npb_class, **factory_kwargs)
-    else:
-        program = factory(**factory_kwargs)
+    program = _registry.build_program(kernel, npb_class=npb_class)
     cluster = ClusterSpec(
         nodes=nodes if nodes is not None else nprocs, ppn=ppn,
         profile=profile_by_name(profile), seed=seed,

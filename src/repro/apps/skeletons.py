@@ -1,0 +1,145 @@
+"""Sparse application skeletons: master–worker and pipeline generators.
+
+The paper's Table 1 argument is that real applications talk to far
+fewer than N-1 distinct destinations — and the sparsest graphs in the
+wild are embarrassingly-parallel batch drivers (the ``Mpi*.py``
+bioinformatics jobs the ROADMAP cites): a master scatters work units
+and gathers results, and *workers never talk to each other*.  Under
+on-demand connection management a worker therefore attaches exactly one
+VI, versus the full N-1 a static MPI_Init establishes; these skeletons
+make that shape available as registered kernels for cluster sweeps
+mixing them with dense NPB jobs.
+
+Both generators take seeded **skew knobs**.  Skew is drawn from a plain
+integer LCG (never the simulator's RNG streams): every rank computes
+the identical schedule locally from ``skew_seed``, the way SPMD batch
+drivers agree on a work plan without communicating — and the static
+analyzer can evaluate it concretely, so the predicted graph stays exact.
+
+* ``size_skew`` ∈ [0, 1): spreads work-unit sizes over
+  ``[work_bytes, work_bytes * (1 + size_skew)]`` per (round, worker).
+* ``dest_skew`` ∈ [0, 1) (master–worker only): per round, worker ``w``
+  is skipped with probability ``dest_skew * w / nworkers`` — high ranks
+  see less traffic, skewing the destination distribution toward low
+  ranks as the knob grows.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: glibc-style LCG; 31-bit state, plenty for schedule skew
+_LCG_A = 1103515245
+_LCG_C = 12345
+_LCG_M = 1 << 31
+
+
+def _lcg_next(state: int) -> int:
+    return (_LCG_A * state + _LCG_C) % _LCG_M
+
+
+def _lcg_unit(state: int) -> float:
+    """Map LCG state to [0, 1)."""
+    return state / _LCG_M
+
+
+def master_worker(rounds: int = 2, work_bytes: int = 256,
+                  size_skew: float = 0.0, dest_skew: float = 0.0,
+                  skew_seed: int = 1):
+    """Master (rank 0) scatters work units and gathers results.
+
+    Each round the master sends one work unit to every *active* worker
+    (tag 1), workers compute proportionally to the unit size and return
+    a quarter-size result (tag 2).  Every rank derives the identical
+    (active?, size) schedule from ``skew_seed``, so no control traffic
+    is needed and the communication graph is a pure star.
+    """
+
+    def prog(mpi):
+        size = mpi.size
+        nworkers = size - 1
+        # the shared schedule: per (round, worker) -> (active, unit bytes)
+        state = skew_seed % _LCG_M
+        plan = []
+        for _r in range(rounds):
+            row = []
+            for w in range(nworkers):
+                state = _lcg_next(state)
+                skip = _lcg_unit(state) < dest_skew * w / max(nworkers, 1)
+                state = _lcg_next(state)
+                unit = int(work_bytes * (1.0 + size_skew * _lcg_unit(state)))
+                row.append((not skip, max(unit, 4)))
+            plan.append(row)
+
+        if mpi.rank == 0:
+            total = 0
+            for r in range(rounds):
+                for w in range(nworkers):
+                    active, unit = plan[r][w]
+                    if active:
+                        work = np.zeros(unit, dtype=np.uint8)
+                        yield from mpi.send(work, w + 1, tag=1)
+                for w in range(nworkers):
+                    active, unit = plan[r][w]
+                    if active:
+                        result = np.empty(unit // 4 + 1, dtype=np.uint8)
+                        yield from mpi.recv(result, source=w + 1, tag=2)
+                        total += unit
+            return total
+        w = mpi.rank - 1
+        done = 0
+        for r in range(rounds):
+            active, unit = plan[r][w]
+            if active:
+                work = np.empty(unit, dtype=np.uint8)
+                yield from mpi.recv(work, source=0, tag=1)
+                yield from mpi.compute(10.0 + unit / 16.0)
+                result = np.zeros(unit // 4 + 1, dtype=np.uint8)
+                yield from mpi.send(result, 0, tag=2)
+                done += 1
+        return done
+
+    return prog
+
+
+def pipeline(rounds: int = 3, bytes_per_hop: int = 128,
+             size_skew: float = 0.0, skew_seed: int = 1):
+    """A ``size``-stage pipeline: tokens enter at rank 0 and flow down
+    the chain, each stage computing before forwarding.
+
+    Every rank touches at most two peers (its chain neighbours), so the
+    on-demand VI footprint is O(1) per process at any scale.  Stage 0
+    keeps injecting, so ``rounds`` tokens are in flight concurrently.
+    """
+
+    def prog(mpi):
+        size = mpi.size
+        # shared per-token payload sizes, derived exactly like the
+        # master-worker plan
+        state = skew_seed % _LCG_M
+        sizes = []
+        for _t in range(rounds):
+            state = _lcg_next(state)
+            nb = int(bytes_per_hop * (1.0 + size_skew * _lcg_unit(state)))
+            sizes.append(max(nb, 4))
+
+        left = mpi.rank - 1
+        right = mpi.rank + 1
+        forwarded = 0
+        for t in range(rounds):
+            token = np.zeros(sizes[t], dtype=np.uint8)
+            if mpi.rank > 0:
+                yield from mpi.recv(token, source=left, tag=3)
+            yield from mpi.compute(15.0 + sizes[t] / 32.0)
+            if right < size:
+                yield from mpi.send(token, right, tag=3)
+                forwarded += 1
+        return forwarded
+
+    return prog
+
+
+SKELETONS = {
+    "masterworker": master_worker,
+    "pipeline": pipeline,
+}

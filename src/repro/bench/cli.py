@@ -9,6 +9,8 @@ Examples::
     python -m repro.bench chaos --smoke       # fault-injection sweep
     python -m repro.bench trace cg --np 4     # telemetry + Chrome trace
     python -m repro.bench flow cg --np 8      # where did the time go?
+    python -m repro.bench capture cg --np 4   # record a comm trace
+    python -m repro.bench capture --replay cg.trace.jsonl  # re-run it
     python -m repro.bench sweep --workers 4   # parallel cached sweep
     python -m repro.bench cluster --workers 3 # multi-job scheduler sweep
     python -m repro.bench golden --check      # golden-trace fingerprints
@@ -47,6 +49,11 @@ def main(argv=None) -> int:
         from repro.bench.flow_cmd import main as flow_main
 
         return flow_main(argv[1:])
+    if argv and argv[0] == "capture":
+        # comm-trace capture/replay (own flags as well)
+        from repro.bench.capture_cmd import main as capture_main
+
+        return capture_main(argv[1:])
     if argv and argv[0] == "sanitize":
         # runtime-sanitizer smoke run (own flags as well)
         from repro.bench.sanitize_cmd import main as sanitize_main

@@ -9,11 +9,18 @@ artifact.  Examples::
     python -m repro.bench cluster --quota 4 --policy easy --workers 3
     python -m repro.bench cluster --jobs 12 --kernels ring,alltoall
     python -m repro.bench cluster --connections ondemand,static-p2p
+    python -m repro.bench cluster --kernels cg-rep,masterworker \\
+        --replay cg-rep=cg.trace.jsonl
 
 Each connection mechanism is one cell: a fully independent simulation
 of the same workload, run in parallel across ``--workers`` processes
 and cached by config fingerprint (the same content-addressed cache the
 ``sweep`` command uses, so re-runs are instant and still byte-identical).
+
+``--replay NAME=FILE`` (repeatable) registers captured trace files as
+cluster kernels, so replayed applications mix with NPB, micro, and
+skeleton jobs in one arrival stream; the cache identity of such cells
+follows the trace *content* (sha256), not the file path.
 """
 
 from __future__ import annotations
@@ -44,8 +51,30 @@ def _csv_int(text: str) -> Tuple[int, ...]:
     return tuple(int(part) for part in _csv(text))
 
 
+def _parse_replays(specs) -> Tuple[Tuple[str, str], ...]:
+    traces = []
+    for item in specs or ():
+        name, sep, path = item.partition("=")
+        if not sep or not name.strip() or not path.strip():
+            raise ValueError(f"--replay needs NAME=FILE, got {item!r}")
+        traces.append((name.strip(), path.strip()))
+    return tuple(traces)
+
+
 def cell_config(args: argparse.Namespace, connection: str) -> Dict[str, Any]:
-    """The JSON-able config of one mechanism cell (cache identity)."""
+    """The JSON-able config of one mechanism cell (cache identity).
+
+    Replay cells carry the trace *digests* (content identity) rather
+    than paths; plain cells omit the key entirely so historical cache
+    fingerprints and artifacts are unchanged.
+    """
+    if getattr(args, "trace_shas", None):
+        return _plain_config(args, connection) | {
+            "trace_shas": dict(args.trace_shas)}
+    return _plain_config(args, connection)
+
+
+def _plain_config(args: argparse.Namespace, connection: str) -> Dict[str, Any]:
     return {
         "experiment": "cluster",
         "nodes": args.nodes,
@@ -80,6 +109,7 @@ def _run_cell(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         seed=params["seed"],
         shards=cfg.get("shards", 1),
         queue=cfg.get("queue", "heap"),
+        trace_paths=tuple(params.get("trace_paths") or ()),
     )
     report["wall_s"] = round(time.perf_counter() - started, 6)  # repro: allow[REPRO001]
     return params["key"], report
@@ -154,6 +184,10 @@ def main(argv=None) -> int:
     parser.add_argument("--kernels", default="ring,allreduce",
                         help="comma-separated workload kernels "
                              f"({','.join(sorted(CLUSTER_KERNELS))})")
+    parser.add_argument("--replay", action="append", default=None,
+                        metavar="NAME=FILE",
+                        help="register a captured trace file as cluster "
+                             "kernel NAME (repeatable)")
     parser.add_argument("--np", dest="nprocs_choices", default="4",
                         help="comma-separated per-job size choices")
     parser.add_argument("--connections",
@@ -180,6 +214,27 @@ def main(argv=None) -> int:
     args.connections = _csv(args.connections)
     if args.quota == 0:
         args.quota = None
+    try:
+        trace_paths = _parse_replays(args.replay)
+    except ValueError as exc:
+        parser.error(str(exc))
+    args.trace_shas = []
+    if trace_paths:
+        # register in this process too: validation below sees the names,
+        # and the cache identity can follow the trace content
+        from repro.workloads.registry import register_trace
+        from repro.workloads.trace import TraceFormatError, load_trace
+
+        try:
+            for trace_name, trace_path in trace_paths:
+                trace = load_trace(trace_path)
+                register_trace(trace, name=trace_name)
+                args.trace_shas.append((trace_name, trace.digest()))
+        except (OSError, TraceFormatError) as exc:
+            parser.error(f"--replay: {exc}")
+        args.trace_shas.sort()
+        missing = tuple(n for n, _ in trace_paths if n not in args.kernels)
+        args.kernels = args.kernels + missing
     unknown = [k for k in args.kernels if k not in CLUSTER_KERNELS]
     if unknown:
         parser.error(f"unknown kernels: {unknown}")
@@ -219,7 +274,7 @@ def main(argv=None) -> int:
             results[key] = (conn, hit)
         else:
             jobs.append({"key": key, "config": config, "seed": args.seed,
-                         "connection": conn})
+                         "connection": conn, "trace_paths": trace_paths})
 
     if jobs:
         by_key = {j["key"]: j for j in jobs}

@@ -12,9 +12,13 @@ Examples::
     python -m repro.bench flow cg --np 8 --nodes 4
     python -m repro.bench flow is --connection static-p2p
     python -m repro.bench flow mg --jsonl mg.flow.jsonl --out mg.trace.json
+    python -m repro.bench flow mytrace --replay mytrace.trace.jsonl
 
-``--jsonl``/``--out`` re-export the underlying telemetry stream /
-Chrome trace (byte-deterministic; CI uses ``cmp`` on reruns).
+Any registered kernel works (NPB, micro, skeletons, registered
+traces); ``--replay FILE`` registers a captured trace file under the
+given workload name first, so captured workloads flow-trace like any
+other kernel.  ``--jsonl``/``--out`` re-export the underlying telemetry
+stream / Chrome trace (byte-deterministic; CI uses ``cmp`` on reruns).
 """
 
 from __future__ import annotations
@@ -22,7 +26,6 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro.apps.npb import KERNELS
 from repro.bench.report import Experiment
 from repro.cluster.job import run_job
 from repro.cluster.spec import ClusterSpec
@@ -30,6 +33,8 @@ from repro.mpi.config import MpiConfig
 from repro.telemetry import TelemetryConfig, export_chrome_trace, export_jsonl
 from repro.telemetry.critpath import BUCKET_LABELS, BUCKETS, CritPathReport, analyze
 from repro.via.profiles import profile_by_name
+from repro.workloads import registry as workload_registry
+from repro.workloads.trace import load_trace
 
 CONNECTIONS = ("ondemand", "static-p2p", "static-cs", "predicted")
 
@@ -74,8 +79,12 @@ def main(argv=None) -> int:
         description="Trace one workload and attribute every message's "
                     "latency (connect stall / flow control / NIC / wire).",
     )
-    parser.add_argument("workload", choices=sorted(KERNELS),
-                        help="NPB kernel to trace")
+    parser.add_argument("workload",
+                        help="registered kernel to trace (NPB, micro, "
+                             "skeleton, or the name for --replay)")
+    parser.add_argument("--replay", default=None, metavar="TRACE",
+                        help="register this captured trace file as the "
+                             "workload before tracing it")
     parser.add_argument("--np", type=int, default=4, dest="nprocs",
                         help="number of MPI processes (default 4)")
     parser.add_argument("--nodes", type=int, default=4,
@@ -97,6 +106,15 @@ def main(argv=None) -> int:
                         help="also write the Chrome trace here")
     args = parser.parse_args(argv)
 
+    if args.replay is not None:
+        trace = load_trace(args.replay)
+        workload_registry.register_trace(trace, name=args.workload)
+        args.nprocs = trace.nprocs
+    elif args.workload not in workload_registry.KERNEL_DEFS:
+        parser.error(
+            f"unknown workload {args.workload!r}; available: "
+            f"{','.join(sorted(workload_registry.KERNEL_DEFS))}")
+
     ppn = args.ppn
     if ppn is None:
         ppn = max(1, -(-args.nprocs // args.nodes))
@@ -106,7 +124,7 @@ def main(argv=None) -> int:
     )
     spec.validate_nprocs(args.nprocs)
 
-    program = KERNELS[args.workload](args.npb_class)
+    program = workload_registry.build_program(args.workload, args.npb_class)
     if args.connection == "predicted":
         from repro.analysis.comm import predicted_peers_for
 

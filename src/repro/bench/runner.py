@@ -50,12 +50,21 @@ class SweepCell:
     #: identical for every value, which the differential suite pins)
     shards: int = 1
     queue: str = "heap"
+    #: trace-replay cells: file to load and its content digest
+    trace_path: Optional[str] = None
+    trace_sha: Optional[str] = None
 
     def config_dict(self) -> Dict[str, Any]:
         """JSON-able configuration (everything but the seed, which the
-        cache fingerprints separately)."""
+        cache fingerprints separately).  The trace *path* is excluded —
+        identity follows the trace content (``trace_sha``), so moving a
+        trace file never invalidates the cache; plain cells omit both
+        keys, keeping their historical fingerprints."""
         cfg = dataclasses.asdict(self)
         del cfg["seed"]
+        del cfg["trace_path"]
+        if cfg["trace_sha"] is None:
+            del cfg["trace_sha"]
         return cfg
 
     def key(self) -> str:
@@ -89,6 +98,9 @@ class SweepMatrix:
     #: engine configuration applied to every cell (pure host-CPU knob)
     shards: int = 1
     queue: str = "heap"
+    #: captured-trace kernels: (kernel name, trace file path) pairs; the
+    #: named kernels sweep like any other (list them in ``kernels``)
+    traces: Tuple[Tuple[str, str], ...] = ()
 
     def cells(self) -> List[SweepCell]:
         """Expand the grid in deterministic order, skipping combinations
@@ -101,8 +113,11 @@ class SweepMatrix:
         # a shard plan cannot have more shards than nodes; clamp rather
         # than fail so one --shards flag fits every matrix shape
         shards = min(self.shards, self.nodes)
+        trace_info = {name: _trace_cell_info(path)
+                      for name, path in self.traces}
         out: List[SweepCell] = []
         for kernel in self.kernels:
+            trace = trace_info.get(kernel)
             for np_ in self.nprocs:
                 for conn in self.connections:
                     for seed in self.seeds:
@@ -112,12 +127,19 @@ class SweepMatrix:
                             conn == "static-cs" or np_ > self.nodes
                         ):
                             continue
+                        if trace is not None and np_ != trace["nprocs"]:
+                            # a replay only runs at its capture size
+                            continue
                         out.append(
                             SweepCell(
                                 kernel=kernel, npb_class=self.npb_class,
                                 nprocs=np_, nodes=self.nodes, ppn=self.ppn,
                                 profile=self.profile, connection=conn,
                                 seed=seed, shards=shards, queue=self.queue,
+                                trace_path=None if trace is None
+                                else trace["path"],
+                                trace_sha=None if trace is None
+                                else trace["sha"],
                             )
                         )
         return out
@@ -145,6 +167,35 @@ MATRICES: Dict[str, SweepMatrix] = {
 }
 
 
+def _trace_cell_info(path: str) -> Dict[str, Any]:
+    """Peek a trace file for sweep expansion: content sha + rank count.
+
+    Only the header line is parsed (cheap); full validation happens in
+    the worker via :func:`repro.workloads.trace.load_trace`.
+    """
+    import hashlib
+    import json as _json
+
+    from repro.workloads.trace import TraceFormatError
+
+    try:
+        data = Path(path).read_bytes()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path!r}: {exc}") from exc
+    first = data.split(b"\n", 1)[0]
+    try:
+        header = _json.loads(first)
+        nprocs = int(header["nprocs"])
+    except (ValueError, KeyError, TypeError) as exc:
+        raise TraceFormatError(
+            f"trace {path!r} has no parseable header") from exc
+    return {
+        "path": path,
+        "sha": hashlib.sha256(data).hexdigest(),
+        "nprocs": nprocs,
+    }
+
+
 def _run_cell_worker(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     """Pool entry: compute one cell and time it.
 
@@ -161,6 +212,7 @@ def _run_cell_worker(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
         profile=params["profile"], connection=params["connection"],
         seed=params["seed"], shards=params.get("shards", 1),
         queue=params.get("queue", "heap"),
+        trace_path=params.get("trace_path"),
     )
     wall_s = time.perf_counter() - started  # repro: allow[REPRO001]
     metrics["wall_s"] = round(wall_s, 6)

@@ -8,6 +8,12 @@ Examples::
     python -m repro.bench sweep --kernels cg,mg --np 4,8 --seeds 0,1
     python -m repro.bench sweep --no-cache           # force recompute
     python -m repro.bench sweep --cache-dir /tmp/bc --out-dir results/
+    python -m repro.bench sweep --replay mytrace=cg.trace.jsonl --np 4
+
+``--replay NAME=FILE`` (repeatable) registers captured trace files as
+sweep kernels: the named kernel replays the trace in every cell (cells
+whose ``--np`` differs from the capture size are skipped), cached by
+the trace's content digest.
 
 The sweep writes a byte-deterministic ``BENCH_<name>.json`` artifact
 (wall-time per cell, simulated time, event count, events/sec, resource
@@ -43,11 +49,28 @@ def _csv_int(text: str) -> tuple:
     return tuple(int(part) for part in _csv(text))
 
 
+def _parse_replays(specs) -> tuple:
+    traces = []
+    for item in specs or ():
+        name, sep, path = item.partition("=")
+        if not sep or not name.strip() or not path.strip():
+            raise ValueError(
+                f"--replay needs NAME=FILE, got {item!r}")
+        traces.append((name.strip(), path.strip()))
+    return tuple(traces)
+
+
 def build_matrix(args: argparse.Namespace) -> SweepMatrix:
     base = MATRICES[args.matrix]
     overrides = {}
     if args.kernels:
         overrides["kernels"] = _csv(args.kernels)
+    traces = _parse_replays(getattr(args, "replay", None))
+    if traces:
+        overrides["traces"] = traces
+        kernels = tuple(overrides.get("kernels", base.kernels))
+        missing = tuple(n for n, _ in traces if n not in kernels)
+        overrides["kernels"] = kernels + missing
     if args.nprocs:
         overrides["nprocs"] = _csv_int(args.nprocs)
     if args.connections:
@@ -111,6 +134,10 @@ def main(argv=None) -> int:
                         help="parallel worker processes (default 1)")
     parser.add_argument("--kernels", default=None,
                         help="comma-separated kernel override (e.g. cg,mg)")
+    parser.add_argument("--replay", action="append", default=None,
+                        metavar="NAME=FILE",
+                        help="register a captured trace file as sweep "
+                             "kernel NAME (repeatable)")
     parser.add_argument("--np", dest="nprocs", default=None,
                         help="comma-separated process counts (e.g. 4,8,16)")
     parser.add_argument("--connections", default=None,
@@ -139,7 +166,10 @@ def main(argv=None) -> int:
                         help="ignore and do not populate the cache")
     args = parser.parse_args(argv)
 
-    matrix = build_matrix(args)
+    try:
+        matrix = build_matrix(args)
+    except ValueError as exc:
+        parser.error(str(exc))
     cache = None
     if not args.no_cache:
         cache = ResultCache(args.cache_dir or default_cache_dir())

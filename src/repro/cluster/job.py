@@ -71,6 +71,8 @@ class JobResult:
     telemetry: Optional[Telemetry] = None
     #: sanitizer findings; None unless run_job(..., sanitize=...) was on
     sanitizer: Optional[SanitizerReport] = None
+    #: captured communication trace; None unless run_job(..., capture=...)
+    trace: Optional[Any] = None
 
     @property
     def avg_init_time_us(self) -> float:
@@ -124,6 +126,7 @@ def run_job(
     fault_plan: Optional[FaultPlan] = None,
     telemetry: Optional[Any] = None,
     sanitize: Optional[Any] = None,
+    capture: Optional[Any] = None,
 ) -> JobResult:
     """Simulate one MPI job and return its measurements.
 
@@ -160,6 +163,14 @@ def run_job(
         and same-timestamp event-race reporting.  Sanitizers observe
         only — the run is event-for-event identical to an unsanitized
         one — and findings land in ``JobResult.sanitizer``.
+    capture:
+        Optional :class:`~repro.workloads.replay.CaptureConfig`.  Swaps
+        every rank's facade for a recording one that logs the MPI-level
+        op timeline; the validated
+        :class:`~repro.workloads.trace.CommTrace` lands in
+        ``JobResult.trace``.  Recording appends to plain lists using
+        simulated time only and never schedules events, so a captured
+        run is event-for-event identical to an uncaptured one.
     """
     config = config or MpiConfig()
     spec.validate_nprocs(nprocs)
@@ -214,6 +225,15 @@ def run_job(
             "sanitize must be a SanitizerConfig or Sanitizer instance"
         )
 
+    cap = None
+    if capture is not None:
+        # imported lazily: plain jobs must not pay for the capture layer
+        from repro.workloads.replay import CaptureConfig, TraceCapture
+
+        if not isinstance(capture, CaptureConfig):
+            raise TypeError("capture must be a CaptureConfig instance")
+        cap = TraceCapture(capture, nprocs)
+
     rng = RngStreams(spec.seed)
     injector = None
     if chaos_active:
@@ -256,7 +276,10 @@ def run_job(
             # retries, deterministic per (seed, rank)
             adi.retry_rng = rng.stream(f"chaos.conn-retry.r{rank}")
         world = Communicator(range(nprocs), rank, context_base=0)
-        facades[rank] = MpiProcess(adi, world, jitter_seed=spec.seed)
+        if cap is not None:
+            facades[rank] = cap.facade(adi, world, jitter_seed=spec.seed)
+        else:
+            facades[rank] = MpiProcess(adi, world, jitter_seed=spec.seed)
         facades[rank]._oob = oob
         devices[rank] = adi
 
@@ -363,6 +386,15 @@ def run_job(
         init_hist = m.histogram("mpi.init.us")
         for t in init_times:
             init_hist.observe(t)
+    comm_trace = None
+    if cap is not None:
+        comm_trace = cap.finish({
+            "connection": config.connection,
+            "seed": spec.seed,
+            "profile": spec.profile.name,
+            "nodes": spec.nodes,
+            "ppn": spec.ppn,
+        })
     return JobResult(
         nprocs=nprocs,
         config=config,
@@ -377,6 +409,7 @@ def run_job(
         chaos=chaos_report,
         telemetry=tel,
         sanitizer=san_report,
+        trace=comm_trace,
     )
 
 
@@ -401,6 +434,7 @@ def run_kernel_cell(
     shards: int = 1,
     queue: str = "heap",
     enforce_lookahead: bool = False,
+    trace_path: Optional[str] = None,
 ) -> Dict[str, Any]:
     """Run one NPB kernel job from scalar parameters; return plain metrics.
 
@@ -421,14 +455,24 @@ def run_kernel_cell(
     claim — and the defaults reproduce the historical engine exactly.
     ``enforce_lookahead`` additionally turns the conservative-lookahead
     invariant of a sharded run into a hard error.
+
+    ``trace_path`` replays a captured trace file: the trace is loaded
+    and registered under ``kernel`` *inside this process* (workers are
+    separate interpreters under spawn, so registration cannot be
+    inherited), then swept like any other kernel.
     """
-    from repro.apps.npb import KERNELS
     from repro.cluster.build import make_engine
     from repro.sim.trace import TraceRecorder
     from repro.via.profiles import profile_by_name
+    from repro.workloads import registry as workload_registry
+    from repro.workloads.trace import load_trace
 
-    if kernel not in KERNELS:
-        raise ValueError(f"unknown kernel {kernel!r}; available: {sorted(KERNELS)}")
+    if trace_path is not None:
+        workload_registry.register_trace(load_trace(trace_path), name=kernel)
+    if kernel not in workload_registry.KERNEL_DEFS:
+        raise ValueError(
+            f"unknown kernel {kernel!r}; available: "
+            f"{sorted(workload_registry.KERNEL_DEFS)}")
     recorder = TraceRecorder() if record_fingerprint else None
     engine = make_engine(
         shards=shards, queue=queue, nodes=nodes, trace=recorder,
@@ -450,7 +494,7 @@ def run_kernel_cell(
     else:
         config = MpiConfig(connection=connection)
     res = run_job(
-        spec, nprocs, KERNELS[kernel](npb_class),
+        spec, nprocs, workload_registry.build_program(kernel, npb_class),
         config=config,
         engine=engine,
     )

@@ -661,6 +661,7 @@ def run_cluster_cell(
     seed: int,
     shards: int = 1,
     queue: str = "heap",
+    trace_paths: Tuple[Tuple[str, str], ...] = (),
 ) -> Dict[str, Any]:
     """Run one cluster-scheduling cell; return the plain report dict.
 
@@ -670,11 +671,21 @@ def run_cluster_cell(
     event-queue configuration (:func:`repro.cluster.build.make_engine`);
     the report is byte-identical across all of them — the cluster-level
     differential claim.
+
+    ``trace_paths`` registers captured trace files as workload kernels
+    (``(name, path)`` pairs) *inside this process* — this function is a
+    multiprocessing worker entry, and registrations are not inherited
+    under spawn — so replayed applications mix with any other kernel in
+    one arrival stream.
     """
     from repro.cluster.build import make_engine
     from repro.cluster.workload import WorkloadSpec, with_connection
     from repro.via.profiles import profile_by_name
+    from repro.workloads.registry import register_trace
+    from repro.workloads.trace import load_trace
 
+    for trace_name, trace_path in trace_paths:
+        register_trace(load_trace(trace_path), name=trace_name)
     workload = WorkloadSpec(
         njobs=njobs,
         mean_interarrival_us=mean_interarrival_us,

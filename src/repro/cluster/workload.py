@@ -20,22 +20,21 @@ quota mid-run — while a static job must reserve the full ``n-1``.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Callable, Dict, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
-from repro.apps import micro
 from repro.mpi.conn import init_vi_demand
 from repro.sim.rng import RngStreams
+from repro.workloads import registry as _registry
+from repro.workloads.registry import collective_vi_demand as _collective_vi_demand
 
-
-def _collective_vi_demand(n: int) -> int:
-    """Distinct recursive-doubling partners: log2(n) for powers of two;
-    conservative full connectivity otherwise (pre/post phases may add
-    neighbours beyond the doubling set)."""
-    if n <= 1:
-        return 0
-    if n & (n - 1) == 0:
-        return n.bit_length() - 1
-    return n - 1
+__all__ = [
+    "ClusterKernel",
+    "CLUSTER_KERNELS",
+    "KERNEL_EST_US_PER_RANK",
+    "JobSpec",
+    "WorkloadSpec",
+    "with_connection",
+]
 
 
 @dataclass(frozen=True)
@@ -48,46 +47,43 @@ class ClusterKernel:
     #: most VIs one process attaches under on-demand management
     vi_demand: Callable[[int], int]
     min_procs: int = 2
+    #: fixed upper size (trace replays only run at capture size)
+    max_procs: Optional[int] = None
+
+    def clamp_nprocs(self, nprocs: int) -> int:
+        nprocs = max(nprocs, self.min_procs)
+        if self.max_procs is not None:
+            nprocs = min(nprocs, self.max_procs)
+        return nprocs
 
 
-#: the workload vocabulary; deliberately small jobs — a cluster scenario
-#: runs dozens of them inside one DES
-CLUSTER_KERNELS: Dict[str, ClusterKernel] = {
-    "ring": ClusterKernel(
-        "ring",
-        lambda n: micro.ring(rounds=3, elements=32),
-        lambda n: min(2, max(0, n - 1)),
-    ),
-    "alltoall": ClusterKernel(
-        "alltoall",
-        lambda n: micro.alltoall_loop(iterations=3, elements_per_peer=2),
-        lambda n: max(0, n - 1),
-    ),
-    "allreduce": ClusterKernel(
-        "allreduce",
-        lambda n: micro.allreduce_latency(iterations=3, elements=4),
-        _collective_vi_demand,
-    ),
-    "barrier": ClusterKernel(
-        "barrier",
-        lambda n: micro.barrier_latency(iterations=5),
-        _collective_vi_demand,
-    ),
-    "pingpong": ClusterKernel(
-        "pingpong",
-        lambda n: micro.pingpong(sizes=(64,), iterations=3, warmup=1),
-        lambda n: 1 if n >= 2 else 0,
-    ),
-}
+#: the workload vocabulary — a live mirror of every *schedulable*
+#: definition in :data:`repro.workloads.registry.KERNEL_DEFS` (the
+#: single source of truth), so a kernel registered once (including a
+#: captured trace registered at runtime) is immediately schedulable
+#: with the exact same parameterization the analyzer sees.  Jobs are
+#: deliberately small — a cluster scenario runs dozens inside one DES.
+CLUSTER_KERNELS: Dict[str, ClusterKernel] = {}
 
 #: crude per-kernel runtime scale for EASY-backfill estimates, µs per rank
-KERNEL_EST_US_PER_RANK: Dict[str, float] = {
-    "ring": 4_000.0,
-    "alltoall": 12_000.0,
-    "allreduce": 8_000.0,
-    "barrier": 6_000.0,
-    "pingpong": 3_000.0,
-}
+KERNEL_EST_US_PER_RANK: Dict[str, float] = {}
+
+
+def _mirror_kernel_def(defn: "_registry.KernelDef") -> None:
+    if not defn.schedulable:
+        return
+    assert defn.vi_demand is not None and defn.est_us_per_rank is not None
+    CLUSTER_KERNELS[defn.name] = ClusterKernel(
+        name=defn.name,
+        factory=lambda n, _name=defn.name: _registry.build_program(_name),
+        vi_demand=defn.vi_demand,
+        min_procs=defn.min_procs,
+        max_procs=defn.max_procs,
+    )
+    KERNEL_EST_US_PER_RANK[defn.name] = defn.est_us_per_rank
+
+
+_registry.attach_mirror(_mirror_kernel_def)
 
 
 @dataclass(frozen=True)
@@ -114,6 +110,11 @@ class JobSpec:
             raise ValueError(
                 f"kernel {self.kernel!r} needs >= {kern.min_procs} "
                 f"processes, got {self.nprocs}"
+            )
+        if kern.max_procs is not None and self.nprocs > kern.max_procs:
+            raise ValueError(
+                f"kernel {self.kernel!r} runs at <= {kern.max_procs} "
+                f"processes (trace capture size), got {self.nprocs}"
             )
         if self.arrival_us < 0:
             raise ValueError("arrival_us must be >= 0")
@@ -192,7 +193,7 @@ class WorkloadSpec:
                 self.nprocs_choices[int(arr.integers(len(self.nprocs_choices)))]
             )
             conn = self.connections[int(arr.integers(len(self.connections)))]
-            nprocs = max(nprocs, CLUSTER_KERNELS[kernel].min_procs)
+            nprocs = CLUSTER_KERNELS[kernel].clamp_nprocs(nprocs)
             jobs.append(
                 JobSpec(
                     job_id=jid,

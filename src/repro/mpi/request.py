@@ -52,6 +52,7 @@ class Request:
         "mode", "buffer", "nbytes", "status", "match_seq",
         "rndv_handle", "rndv_region", "temp_copy", "error",
         "completed_at", "posted_at", "tel_span", "flow_id",
+        "trace_serial",
     )
 
     def __init__(
@@ -91,6 +92,8 @@ class Request:
         self.tel_span = None
         #: causal flow id (sends only; 0 = untraced)
         self.flow_id = 0
+        #: per-rank op serial under trace capture (None when not captured)
+        self.trace_serial: Optional[int] = None
 
     @property
     def done(self) -> bool:

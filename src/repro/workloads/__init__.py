@@ -1,0 +1,42 @@
+"""Workloads: the kernel registry plus trace capture/replay.
+
+* :mod:`repro.workloads.registry` — every kernel (NPB, micro, pattern,
+  skeleton, captured trace) as one :class:`KernelDef`; the legacy
+  ``CLUSTER_KERNELS`` / ``COMM_KERNELS`` tables are live mirrors.
+* :mod:`repro.workloads.trace` — the versioned byte-deterministic
+  JSONL trace format.
+* :mod:`repro.workloads.replay` — recording facade (capture) and the
+  replay kernel generator.
+"""
+
+from repro.workloads.registry import (
+    KERNEL_DEFS,
+    KernelDef,
+    attach_mirror,
+    build_program,
+    kernel_def,
+    register_kernel,
+    register_trace,
+)
+from repro.workloads.trace import (
+    CommTrace,
+    TraceFormatError,
+    TraceReplayError,
+    load_trace,
+    parse_trace,
+)
+
+__all__ = [
+    "KERNEL_DEFS",
+    "KernelDef",
+    "attach_mirror",
+    "build_program",
+    "kernel_def",
+    "register_kernel",
+    "register_trace",
+    "CommTrace",
+    "TraceFormatError",
+    "TraceReplayError",
+    "load_trace",
+    "parse_trace",
+]

@@ -1,0 +1,309 @@
+"""The versioned, byte-deterministic communication-trace format (v1).
+
+A :class:`CommTrace` is the serialized per-rank MPI timeline of one
+simulated job: every send/recv/sendrecv (decomposed into the
+``isend``/``irecv``/``wait`` primitives the facade itself uses), every
+collective as a single record, and the inter-op compute gaps the
+program requested.  Traces are captured by
+:mod:`repro.workloads.replay` and turned back into runnable kernels by
+:func:`repro.workloads.replay.replay_program`.
+
+The on-disk format is JSON Lines with three record kinds::
+
+    {"format": "repro-comm-trace", "version": 1, "kernel": ..., "nprocs": N,
+     "meta": {...}}                                  # header, line 1
+    {"op": "...", "r": <rank>, "t": <sim-us>, ...}   # one line per op,
+                                                     # ranks grouped ascending
+    {"end": true, "ops": <total op count>}           # footer, last line
+
+Every line is ``json.dumps(..., sort_keys=True, separators=(",", ":"))``
+so serialization is byte-deterministic, and ``serialize -> parse ->
+serialize`` round-trips to identical bytes.  The footer makes truncation
+detectable: a cut-off file raises :class:`TraceFormatError` at parse
+time instead of hanging a replay rank mid-stream.
+
+Op vocabulary (v1) — field names are short to keep traces compact:
+
+========== ==================================================================
+``isend``  ``req`` serial, ``peer``, ``tag``, ``nb`` payload bytes (null =
+           the program passed ``None``), optional ``mode`` for non-standard
+           send modes (``synchronous``/``buffered``/``ready``)
+``irecv``  ``req`` serial, ``peer`` (may be ANY_SOURCE = -1), ``tag`` (may
+           be ANY_TAG = -1), ``nb`` posted buffer bytes (null = None)
+``wait``   ``req`` — complete one request
+``waitall`` ``reqs`` — complete a list of requests
+``test``   ``req`` — one progress pass (MPI_Test)
+``probe``  ``peer``, ``tag`` (MPI_Iprobe)
+``compute`` ``us`` — requested (pre-jitter) local compute microseconds
+``coll``   ``kind``, ``root`` (null for rootless), ``nb`` analysis bytes
+           (the send-side buffer, mirroring the static analyzer's
+           convention), ``rnb`` receive-side bytes where they differ, and
+           for ``alltoallv`` the byte-granular ``scounts``/``sdispls``/
+           ``rcounts``/``rdispls`` vectors
+========== ==================================================================
+
+This module is deliberately dependency-free (stdlib ``json`` only) so
+the analyzer can load traces without importing the simulator.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+__all__ = [
+    "TRACE_FORMAT",
+    "TRACE_VERSION",
+    "TraceFormatError",
+    "TraceReplayError",
+    "CommTrace",
+    "parse_trace",
+    "load_trace",
+]
+
+#: magic identifier in the header line
+TRACE_FORMAT = "repro-comm-trace"
+#: current (and only) format version
+TRACE_VERSION = 1
+
+#: ops that reference a single request serial
+_REQ_OPS = frozenset({"wait", "test"})
+#: every op kind of format v1
+_OP_KINDS = frozenset({
+    "isend", "irecv", "wait", "waitall", "test", "probe", "compute", "coll",
+})
+#: collective kinds of format v1 (mirrors repro.mpi.collectives)
+_COLL_KINDS = frozenset({
+    "barrier", "bcast", "reduce", "allreduce", "allgather",
+    "alltoall", "alltoallv", "gather", "scatter",
+})
+_SEND_MODES = frozenset({"synchronous", "buffered", "ready"})
+
+
+class TraceFormatError(ValueError):
+    """A trace file/stream is malformed, truncated, or has an
+    unsupported version.  Raised at parse time — never mid-replay."""
+
+
+class TraceReplayError(RuntimeError):
+    """A structurally valid trace cannot be replayed as requested
+    (wrong process count, dangling request serial, ...)."""
+
+
+def _dump_line(obj: Dict[str, Any]) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def _is_nbytes(value: Any) -> bool:
+    return value is None or (isinstance(value, int)
+                             and not isinstance(value, bool) and value >= 0)
+
+
+def _is_int(value: Any) -> bool:
+    return isinstance(value, int) and not isinstance(value, bool)
+
+
+def _check_op(rec: Dict[str, Any], nprocs: int, lineno: int) -> None:
+    """Validate one op record; raise TraceFormatError with the line."""
+
+    def bad(why: str) -> "TraceFormatError":
+        return TraceFormatError(f"line {lineno}: {why}: {_dump_line(rec)}")
+
+    op = rec.get("op")
+    if op not in _OP_KINDS:
+        raise bad(f"unknown op {op!r}")
+    rank = rec.get("r")
+    if not _is_int(rank) or not (0 <= rank < nprocs):
+        raise bad(f"rank {rank!r} out of range for nprocs={nprocs}")
+    if not isinstance(rec.get("t"), (int, float)):
+        raise bad("missing/non-numeric timestamp 't'")
+    if op in ("isend", "irecv"):
+        if not _is_int(rec.get("req")) or rec["req"] < 0:
+            raise bad("bad request serial")
+        if not _is_nbytes(rec.get("nb", -1)):
+            raise bad("bad byte count 'nb'")
+        peer = rec.get("peer")
+        if op == "isend":
+            if not _is_int(peer) or not (0 <= peer < nprocs):
+                raise bad(f"send peer {peer!r} out of range")
+            mode = rec.get("mode")
+            if mode is not None and mode not in _SEND_MODES:
+                raise bad(f"unknown send mode {mode!r}")
+        else:
+            # ANY_SOURCE (-1) is legal for receives
+            if not _is_int(peer) or not (-1 <= peer < nprocs):
+                raise bad(f"recv peer {peer!r} out of range")
+        if not _is_int(rec.get("tag")):
+            raise bad("bad tag")
+    elif op in _REQ_OPS:
+        if not _is_int(rec.get("req")) or rec["req"] < 0:
+            raise bad("bad request serial")
+    elif op == "waitall":
+        reqs = rec.get("reqs")
+        if (not isinstance(reqs, list)
+                or any(not _is_int(s) or s < 0 for s in reqs)):
+            raise bad("bad request serial list")
+    elif op == "probe":
+        peer = rec.get("peer")
+        if not _is_int(peer) or not (-1 <= peer < nprocs):
+            raise bad(f"probe peer {peer!r} out of range")
+        if not _is_int(rec.get("tag")):
+            raise bad("bad tag")
+    elif op == "compute":
+        us = rec.get("us")
+        if not isinstance(us, (int, float)) or isinstance(us, bool) or us < 0:
+            raise bad("bad compute duration 'us'")
+    else:  # coll
+        kind = rec.get("kind")
+        if kind not in _COLL_KINDS:
+            raise bad(f"unknown collective kind {kind!r}")
+        root = rec.get("root")
+        if root is not None and (not _is_int(root)
+                                 or not (0 <= root < nprocs)):
+            raise bad(f"collective root {root!r} out of range")
+        for key in ("nb", "rnb"):
+            if not _is_nbytes(rec.get(key)):
+                raise bad(f"bad byte count {key!r}")
+        if kind == "alltoallv":
+            for key in ("scounts", "sdispls", "rcounts", "rdispls"):
+                vec = rec.get(key)
+                if (not isinstance(vec, list) or len(vec) != nprocs
+                        or any(not _is_int(v) or v < 0 for v in vec)):
+                    raise bad(f"bad alltoallv vector {key!r}")
+
+
+@dataclass
+class CommTrace:
+    """One captured job: header metadata plus per-rank op timelines."""
+
+    kernel: str
+    nprocs: int
+    #: free-form capture context (connection, seed, profile, ...)
+    meta: Dict[str, Any] = field(default_factory=dict)
+    #: ``ops[rank]`` is that rank's records in program order
+    ops: List[List[Dict[str, Any]]] = field(default_factory=list)
+
+    @property
+    def total_ops(self) -> int:
+        return sum(len(rank_ops) for rank_ops in self.ops)
+
+    def validate(self) -> "CommTrace":
+        """Re-check every record (used after programmatic construction)."""
+        if self.nprocs < 1:
+            raise TraceFormatError(f"nprocs must be >= 1, got {self.nprocs}")
+        if len(self.ops) != self.nprocs:
+            raise TraceFormatError(
+                f"trace has op streams for {len(self.ops)} ranks, "
+                f"header says nprocs={self.nprocs}")
+        lineno = 1
+        for rank, rank_ops in enumerate(self.ops):
+            for rec in rank_ops:
+                lineno += 1
+                if rec.get("r") != rank:
+                    raise TraceFormatError(
+                        f"line {lineno}: op for rank {rec.get('r')!r} "
+                        f"filed under rank {rank}")
+                _check_op(rec, self.nprocs, lineno)
+        return self
+
+    def to_jsonl(self) -> str:
+        """Serialize to the canonical byte-deterministic JSONL text."""
+        header = {
+            "format": TRACE_FORMAT,
+            "version": TRACE_VERSION,
+            "kernel": self.kernel,
+            "nprocs": self.nprocs,
+            "meta": self.meta,
+        }
+        lines = [_dump_line(header)]
+        for rank_ops in self.ops:
+            lines.extend(_dump_line(rec) for rec in rank_ops)
+        lines.append(_dump_line({"end": True, "ops": self.total_ops}))
+        return "\n".join(lines) + "\n"
+
+    def save(self, path: Any) -> None:
+        with open(path, "w", encoding="utf-8", newline="\n") as fh:
+            fh.write(self.to_jsonl())
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical serialization (content identity)."""
+        return hashlib.sha256(self.to_jsonl().encode("utf-8")).hexdigest()
+
+
+def parse_trace(text: str) -> CommTrace:
+    """Parse canonical JSONL text into a :class:`CommTrace`.
+
+    Raises :class:`TraceFormatError` on any malformed, truncated, or
+    version-mismatched input.
+    """
+    lines = [line for line in text.splitlines() if line.strip()]
+    if not lines:
+        raise TraceFormatError("empty trace")
+
+    def parse_line(lineno: int, line: str) -> Dict[str, Any]:
+        try:
+            obj = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise TraceFormatError(
+                f"line {lineno}: not valid JSON ({exc.msg}); "
+                "file truncated mid-line?") from exc
+        if not isinstance(obj, dict):
+            raise TraceFormatError(f"line {lineno}: expected a JSON object")
+        return obj
+
+    header = parse_line(1, lines[0])
+    if header.get("format") != TRACE_FORMAT:
+        raise TraceFormatError(
+            f"not a {TRACE_FORMAT} file (header format "
+            f"{header.get('format')!r})")
+    version = header.get("version")
+    if version != TRACE_VERSION:
+        raise TraceFormatError(
+            f"unsupported trace version {version!r} "
+            f"(this build reads version {TRACE_VERSION})")
+    nprocs = header.get("nprocs")
+    if not _is_int(nprocs) or nprocs < 1:
+        raise TraceFormatError(f"bad nprocs {nprocs!r} in header")
+    kernel = header.get("kernel")
+    if not isinstance(kernel, str) or not kernel:
+        raise TraceFormatError(f"bad kernel name {kernel!r} in header")
+    meta = header.get("meta", {})
+    if not isinstance(meta, dict):
+        raise TraceFormatError("header meta must be an object")
+
+    footer = parse_line(len(lines), lines[-1])
+    if footer.get("end") is not True:
+        raise TraceFormatError(
+            "missing end-of-trace footer (file truncated?)")
+
+    ops: List[List[Dict[str, Any]]] = [[] for _ in range(nprocs)]
+    last_rank = 0
+    for lineno, line in enumerate(lines[1:-1], start=2):
+        rec = parse_line(lineno, line)
+        _check_op(rec, nprocs, lineno)
+        rank = rec["r"]
+        if rank < last_rank:
+            raise TraceFormatError(
+                f"line {lineno}: rank {rank} out of order "
+                "(ops must be grouped by ascending rank)")
+        last_rank = rank
+        ops[rank].append(rec)
+
+    total = sum(len(rank_ops) for rank_ops in ops)
+    if footer.get("ops") != total:
+        raise TraceFormatError(
+            f"footer records {footer.get('ops')!r} ops but file holds "
+            f"{total} (file truncated?)")
+    return CommTrace(kernel=kernel, nprocs=nprocs, meta=meta, ops=ops)
+
+
+def load_trace(path: Any) -> CommTrace:
+    """Read and parse a trace file (typed errors, never hangs)."""
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+    except OSError as exc:
+        raise TraceFormatError(f"cannot read trace {path!r}: {exc}") from exc
+    return parse_trace(text)

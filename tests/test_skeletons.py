@@ -1,0 +1,141 @@
+"""Acceptance tests for the sparse master–worker / pipeline skeletons.
+
+The skeletons exist to exercise the paper's sweet spot: sparse
+communication graphs where static connection management wastes VIs.
+A master–worker star keeps every worker at O(1) VIs under on-demand
+management while static-p2p burns N-1 per process; the static analyzer
+predicts the star exactly; and a mixed captured-NPB + skeleton cluster
+sweep completes the identical arrival stream with a lower per-NIC VI
+peak under on-demand.
+"""
+
+import pytest
+
+from repro.analysis import check_observed_subset
+from repro.apps.skeletons import master_worker, pipeline
+from repro.cluster import ClusterSpec, run_job
+from repro.cluster.sched import run_cluster_cell
+from repro.mpi import MpiConfig
+from repro.via.profiles import CLAN
+from repro.workloads.registry import build_program
+from repro.workloads.replay import CaptureConfig
+
+
+def _run(program, nprocs, connection, seed=0):
+    spec = ClusterSpec(nodes=nprocs, ppn=1, profile=CLAN, seed=seed)
+    return run_job(spec, nprocs, program, MpiConfig(connection=connection))
+
+
+class TestMasterWorkerVIUsage:
+    @pytest.mark.parametrize("nprocs", (4, 6))
+    def test_ondemand_workers_stay_at_one_vi(self, nprocs):
+        res = _run(master_worker(), nprocs, "ondemand")
+        vis = res.resources.nic_vi_high_water
+        assert vis[0] == nprocs - 1          # the master talks to everyone
+        for worker in range(1, nprocs):
+            assert vis[worker] == 1          # O(1), not O(N)
+
+    @pytest.mark.parametrize("nprocs", (4, 6))
+    def test_static_burns_n_minus_1_everywhere(self, nprocs):
+        res = _run(master_worker(), nprocs, "static-p2p")
+        vis = res.resources.nic_vi_high_water
+        assert all(vis[n] == nprocs - 1 for n in range(nprocs))
+
+    def test_connection_counts_star_vs_mesh(self):
+        ondemand = _run(master_worker(), 4, "ondemand")
+        static = _run(master_worker(), 4, "static-p2p")
+        # the star opens 2(N-1) one-way connections; static opens N(N-1)
+        assert ondemand.resources.total_connections == 6
+        assert static.resources.total_connections == 12
+
+    def test_dest_skew_prunes_connections(self):
+        # with heavy destination skew some workers get no work at all,
+        # and on-demand never connects to them
+        dense = _run(master_worker(rounds=2, dest_skew=0.0), 6, "ondemand")
+        sparse = _run(master_worker(rounds=2, dest_skew=0.95, skew_seed=3),
+                      6, "ondemand")
+        assert (sparse.resources.total_connections
+                < dense.resources.total_connections)
+
+    def test_size_skew_is_spmd_consistent(self):
+        # every rank computes the same plan from the shared LCG stream,
+        # so skewed work sizes still match send/recv byte-for-byte
+        res = _run(master_worker(rounds=3, size_skew=2.0, skew_seed=7),
+                   5, "ondemand")
+        assert res.dropped_messages == 0
+
+
+class TestPipelineVIUsage:
+    def test_chain_needs_two_vis_per_stage(self):
+        res = _run(pipeline(rounds=3), 5, "ondemand")
+        vis = res.resources.nic_vi_high_water
+        assert vis[0] == 1 and vis[4] == 1   # the chain's endpoints
+        assert all(vis[n] == 2 for n in range(1, 4))
+
+    def test_static_still_burns_the_mesh(self):
+        res = _run(pipeline(rounds=3), 5, "static-p2p")
+        assert all(hw == 4
+                   for hw in res.resources.nic_vi_high_water.values())
+
+
+class TestAnalyzerAgreement:
+    @pytest.mark.parametrize("kernel", ("masterworker", "pipeline"))
+    def test_observed_subset_of_predicted(self, kernel):
+        diff = check_observed_subset(kernel, 4, nodes=4, ppn=1)
+        assert diff["ok"], diff["violations"]
+        assert diff["observed_edges"]
+
+
+class TestMixedClusterSweep:
+    """The PR's acceptance scenario: captured NPB + skeleton jobs in one
+    arrival stream, on-demand vs static, identical completions, lower
+    VI peak."""
+
+    @pytest.fixture(scope="class")
+    def cg_trace_path(self, tmp_path_factory):
+        spec = ClusterSpec(nodes=4, ppn=1, profile=CLAN, seed=0)
+        res = run_job(spec, 4, build_program("cg", "S"), MpiConfig(),
+                      capture=CaptureConfig(kernel="cg"))
+        path = tmp_path_factory.mktemp("traces") / "cg.trace.jsonl"
+        res.trace.save(path)
+        return str(path)
+
+    @pytest.fixture(scope="class")
+    def reports(self, cg_trace_path):
+        out = {}
+        for connection in ("ondemand", "static-p2p"):
+            out[connection] = run_cluster_cell(
+                nodes=4, ppn=2, profile="clan", vi_quota=None,
+                policy="fcfs", placement="spread", connection=connection,
+                njobs=8, mean_interarrival_us=1500.0,
+                kernels=("masterworker", "cg-rep"),
+                nprocs_choices=(4,), seed=0,
+                trace_paths=(("cg-rep", cg_trace_path),),
+            )
+        return out
+
+    def test_same_arrivals_complete_under_both(self, reports):
+        ond, stat = reports["ondemand"], reports["static-p2p"]
+        assert len(ond["jobs"]) == len(stat["jobs"]) == 8
+        assert ([j["arrival_us"] for j in ond["jobs"]]
+                == [j["arrival_us"] for j in stat["jobs"]])
+        assert ([j["kernel"] for j in ond["jobs"]]
+                == [j["kernel"] for j in stat["jobs"]])
+        assert all(j["finish_us"] > j["arrival_us"] for j in ond["jobs"])
+
+    def test_ondemand_has_lower_vi_peak(self, reports):
+        peak = {conn: max(rep["nic_vi_high_water"].values())
+                for conn, rep in reports.items()}
+        assert peak["ondemand"] < peak["static-p2p"]
+
+    def test_skeleton_jobs_drive_the_gap(self, reports):
+        for conn, rep in reports.items():
+            for job in rep["jobs"]:
+                if job["kernel"] != "masterworker":
+                    continue
+                if conn == "ondemand":
+                    assert job["connections"] == 6     # the star
+                    assert job["avg_vis"] < 2.0
+                else:
+                    assert job["connections"] == 12    # the mesh
+                    assert job["avg_vis"] == 3.0
