@@ -26,7 +26,6 @@ follows the trace *content* (sha256), not the file path.
 from __future__ import annotations
 
 import argparse
-import json
 import multiprocessing
 import sys
 import time
@@ -35,7 +34,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.bench.cache import ResultCache, config_fingerprint
 from repro.bench.report import Experiment
-from repro.bench.runner import default_cache_dir
+from repro.bench.runner import artifact_text, default_cache_dir
 from repro.cluster.sched import run_cluster_cell
 from repro.cluster.workload import CLUSTER_KERNELS
 from repro.via.profiles import profile_by_name
@@ -61,40 +60,80 @@ def _parse_replays(specs) -> Tuple[Tuple[str, str], ...]:
     return tuple(traces)
 
 
-def cell_config(args: argparse.Namespace, connection: str) -> Dict[str, Any]:
-    """The JSON-able config of one mechanism cell (cache identity).
+def cluster_cell_config(
+    *,
+    connection: str,
+    nodes: int = 4,
+    ppn: int = 2,
+    profile: str = "clan",
+    vi_quota: Optional[int] = 4,
+    policy: str = "fcfs",
+    placement: str = "spread",
+    njobs: int = 8,
+    mean_interarrival_us: float = 1500.0,
+    kernels: Tuple[str, ...] = ("ring", "allreduce"),
+    nprocs_choices: Tuple[int, ...] = (4,),
+    shards: int = 1,
+    queue: str = "heap",
+    trace_shas: Tuple[Tuple[str, str], ...] = (),
+) -> Dict[str, Any]:
+    """The JSON-able config of one mechanism cell (its cache identity).
 
-    Replay cells carry the trace *digests* (content identity) rather
-    than paths; plain cells omit the key entirely so historical cache
-    fingerprints and artifacts are unchanged.
+    Plain-parameter form shared by the CLI below and ``repro.service``
+    cluster requests, so a scenario submitted to the server hashes to
+    the *same* fingerprint as the direct CLI invocation and the two
+    share cache entries.  Replay cells carry the trace *digests*
+    (content identity) rather than paths; plain cells omit the key
+    entirely so historical fingerprints and artifacts are unchanged.
     """
-    if getattr(args, "trace_shas", None):
-        return _plain_config(args, connection) | {
-            "trace_shas": dict(args.trace_shas)}
-    return _plain_config(args, connection)
-
-
-def _plain_config(args: argparse.Namespace, connection: str) -> Dict[str, Any]:
-    return {
+    config: Dict[str, Any] = {
         "experiment": "cluster",
-        "nodes": args.nodes,
-        "ppn": args.ppn,
-        "profile": args.profile,
-        "vi_quota": args.quota,
-        "policy": args.policy,
-        "placement": args.placement,
+        "nodes": nodes,
+        "ppn": ppn,
+        "profile": profile,
+        "vi_quota": vi_quota,
+        "policy": policy,
+        "placement": placement,
         "connection": connection,
-        "njobs": args.jobs,
-        "mean_interarrival_us": args.mean_arrival,
-        "kernels": list(args.kernels),
-        "nprocs_choices": list(args.nprocs_choices),
-        "shards": args.shards,
-        "queue": args.queue,
+        "njobs": njobs,
+        "mean_interarrival_us": mean_interarrival_us,
+        "kernels": list(kernels),
+        "nprocs_choices": list(nprocs_choices),
+        "shards": shards,
+        "queue": queue,
     }
+    if trace_shas:
+        config["trace_shas"] = dict(trace_shas)
+    return config
 
 
-def _run_cell(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
-    """Worker entry: compute one mechanism cell (picklable, top level)."""
+def cell_config(args: argparse.Namespace, connection: str) -> Dict[str, Any]:
+    """CLI adapter over :func:`cluster_cell_config`."""
+    return cluster_cell_config(
+        connection=connection,
+        nodes=args.nodes,
+        ppn=args.ppn,
+        profile=args.profile,
+        vi_quota=args.quota,
+        policy=args.policy,
+        placement=args.placement,
+        njobs=args.jobs,
+        mean_interarrival_us=args.mean_arrival,
+        kernels=tuple(args.kernels),
+        nprocs_choices=tuple(args.nprocs_choices),
+        shards=args.shards,
+        queue=args.queue,
+        trace_shas=tuple(getattr(args, "trace_shas", None) or ()),
+    )
+
+
+def compute_cluster_cell(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Worker entry: compute one mechanism cell (picklable, top level).
+
+    Shared by the CLI pool below and the ``repro.service`` worker pool;
+    ``params`` is ``{"key", "config", "seed", "trace_paths"?}`` with
+    ``config`` shaped by :func:`cluster_cell_config`.
+    """
     cfg = params["config"]
     # host wall-clock around (never inside) the simulation
     started = time.perf_counter()  # repro: allow[REPRO001]
@@ -113,6 +152,10 @@ def _run_cell(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     )
     report["wall_s"] = round(time.perf_counter() - started, 6)  # repro: allow[REPRO001]
     return params["key"], report
+
+
+#: legacy alias (pre-service name of the pool entry)
+_run_cell = compute_cluster_cell
 
 
 def render_comparison(
@@ -279,10 +322,10 @@ def main(argv=None) -> int:
     if jobs:
         by_key = {j["key"]: j for j in jobs}
         if args.workers == 1 or len(jobs) == 1:
-            completions = map(_run_cell, jobs)
+            completions = map(compute_cluster_cell, jobs)
         else:
             pool = multiprocessing.Pool(min(args.workers, len(jobs)))
-            completions = pool.imap_unordered(_run_cell, jobs)
+            completions = pool.imap_unordered(compute_cluster_cell, jobs)
         for key, report in completions:
             conn = by_key[key]["connection"]
             results[key] = (conn, report)
@@ -302,9 +345,7 @@ def main(argv=None) -> int:
     Path(args.out_dir).mkdir(parents=True, exist_ok=True)
     path = Path(args.out_dir) / f"CLUSTER_{args.name}.json"
     doc = cluster_artifact(ordered, args)
-    text = json.dumps(doc, sort_keys=True, indent=2,
-                      separators=(",", ": ")) + "\n"
-    path.write_text(text, encoding="utf-8")
+    path.write_text(artifact_text(doc), encoding="utf-8")
     print(f"\nwrote {path}")
     return 0
 

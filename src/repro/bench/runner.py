@@ -196,13 +196,43 @@ def _trace_cell_info(path: str) -> Dict[str, Any]:
     }
 
 
-def _run_cell_worker(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+def matrix_from_dict(doc: Dict[str, Any]) -> SweepMatrix:
+    """Rebuild a :class:`SweepMatrix` from its JSON form.
+
+    The inverse of :meth:`SweepMatrix.to_dict` modulo list/tuple: JSON
+    has no tuples, so sequence fields are re-tupled here.  This is the
+    deserialization boundary of ``repro.service`` sweep requests —
+    unknown keys raise so a typo'd request fails loudly instead of
+    silently sweeping the default matrix.
+    """
+    known = {f.name for f in dataclasses.fields(SweepMatrix)}
+    unknown = sorted(set(doc) - known)
+    if unknown:
+        raise ValueError(f"unknown sweep matrix fields: {unknown}")
+    if "name" not in doc:
+        raise ValueError("sweep matrix needs a 'name'")
+    kwargs: Dict[str, Any] = dict(doc)
+    for field_name in ("kernels", "connections"):
+        if field_name in kwargs:
+            kwargs[field_name] = tuple(str(k) for k in kwargs[field_name])
+    for field_name in ("nprocs", "seeds"):
+        if field_name in kwargs:
+            kwargs[field_name] = tuple(int(v) for v in kwargs[field_name])
+    if "traces" in kwargs:
+        kwargs["traces"] = tuple(
+            (str(n), str(p)) for n, p in kwargs["traces"])
+    return SweepMatrix(**kwargs)
+
+
+def compute_cell(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     """Pool entry: compute one cell and time it.
 
     Top level (picklable under spawn and fork).  Returns ``(key,
     result)`` so the parent can merge out-of-order completions.  Host
     wall-clock is operator-facing measurement *about* the simulator,
-    never fed back into it.
+    never fed back into it.  Shared by :class:`SweepRunner` and the
+    ``repro.service`` worker pool — both feed it the dict shape built
+    by :func:`cell_params`.
     """
     key = params["key"]
     started = time.perf_counter()  # repro: allow[REPRO001]
@@ -218,6 +248,15 @@ def _run_cell_worker(params: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
     metrics["wall_s"] = round(wall_s, 6)
     metrics["events_per_sec"] = round(metrics["events"] / wall_s, 1)
     return key, metrics
+
+
+#: legacy alias (pre-service name of the pool entry)
+_run_cell_worker = compute_cell
+
+
+def cell_params(cell: SweepCell) -> Dict[str, Any]:
+    """The picklable parameter dict :func:`compute_cell` expects."""
+    return {"key": cell.key(), **dataclasses.asdict(cell)}
 
 
 @dataclass
@@ -271,13 +310,13 @@ class SweepRunner:
         if misses:
             by_key = {params["key"]: params for params in misses}
             if self.workers == 1 or len(misses) == 1:
-                completions = map(_run_cell_worker, misses)
+                completions = map(compute_cell, misses)
                 for key, metrics in completions:
                     self._on_computed(key, by_key[key], metrics, results)
             else:
                 with multiprocessing.Pool(min(self.workers, len(misses))) as pool:
                     for key, metrics in pool.imap_unordered(
-                        _run_cell_worker, misses
+                        compute_cell, misses
                     ):
                         self._on_computed(key, by_key[key], metrics, results)
 
@@ -328,14 +367,22 @@ def bench_artifact(outcome: SweepOutcome) -> Dict[str, Any]:
     }
 
 
+def artifact_text(doc: Dict[str, Any]) -> str:
+    """The canonical on-disk serialization of a bench/cluster artifact.
+
+    Sorted keys + fixed separators + trailing newline = reproducible
+    bytes.  Every artifact writer (sweep CLI, cluster CLI, service
+    ``fetch``) goes through this one function, which is what makes
+    ``cmp`` equivalence between the service and the direct CLIs hold.
+    """
+    return json.dumps(doc, sort_keys=True, indent=2, separators=(",", ": ")) + "\n"
+
+
 def write_bench_json(outcome: SweepOutcome, out_dir: os.PathLike | str = ".") -> Path:
     """Write ``BENCH_<name>.json`` (byte-deterministic) and return its path."""
     Path(out_dir).mkdir(parents=True, exist_ok=True)
     path = Path(out_dir) / f"BENCH_{outcome.matrix.name}.json"
-    doc = bench_artifact(outcome)
-    # sorted keys + fixed separators + trailing newline = reproducible bytes
-    text = json.dumps(doc, sort_keys=True, indent=2, separators=(",", ": ")) + "\n"
-    path.write_text(text, encoding="utf-8")
+    path.write_text(artifact_text(bench_artifact(outcome)), encoding="utf-8")
     return path
 
 
@@ -353,8 +400,12 @@ __all__ = [
     "SweepMatrix",
     "SweepOutcome",
     "SweepRunner",
+    "artifact_text",
     "bench_artifact",
     "canonical_json",
+    "cell_params",
+    "compute_cell",
     "default_cache_dir",
+    "matrix_from_dict",
     "write_bench_json",
 ]

@@ -25,6 +25,7 @@ identical artifact.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 import time
 
@@ -96,6 +97,29 @@ def build_matrix(args: argparse.Namespace) -> SweepMatrix:
     import dataclasses
 
     return dataclasses.replace(base, **overrides)
+
+
+def render_cache_stats(cache: ResultCache) -> str:
+    """One-line hit/miss digest of a sweep's cache traffic.
+
+    The counters are the :class:`ResultCache`'s own (`hits`/`misses`
+    accumulate across every ``get``) — the same counters the service
+    exports as its cache-hit-rate metric, so the CLI line and the
+    server's ``service.cache.*`` gauges always agree on semantics.
+    """
+    lookups = cache.hits + cache.misses
+    rate = (100.0 * cache.hits / lookups) if lookups else 0.0
+    line = (f"[cache: {cache.hits} hits / {cache.misses} misses "
+            f"({rate:.0f}% hit rate)")
+    if cache.corrupt_recovered:
+        line += f", {cache.corrupt_recovered} corrupt entries recovered"
+    return line + "]"
+
+
+def _raise_keyboard_interrupt(signum, frame):
+    """SIGTERM handler: reuse the SIGINT unwind path (finally-blocks
+    run, the worker pool is terminated, completed cells stay cached)."""
+    raise KeyboardInterrupt
 
 
 def render_outcome(outcome: SweepOutcome) -> str:
@@ -178,17 +202,34 @@ def main(argv=None) -> int:
         matrix, workers=args.workers, cache=cache,
         progress=lambda msg: print(f"  {msg}", file=sys.stderr),
     )
+    # graceful kill: SIGTERM joins SIGINT's KeyboardInterrupt unwind —
+    # in-flight cells are abandoned (the pool is terminated by the
+    # context manager), completed cells are already on disk via the
+    # cache's atomic writes, and re-running the same command resumes
+    try:
+        prev_term = signal.signal(signal.SIGTERM, _raise_keyboard_interrupt)
+    except ValueError:  # not the main thread (e.g. driven from a test rig)
+        prev_term = None
     # host wall-clock for operator progress only, never fed to the DES
     started = time.time()  # repro: allow[REPRO001]
-    outcome = runner.run()
+    try:
+        outcome = runner.run()
+    except KeyboardInterrupt:
+        print("\nsweep interrupted — completed cells remain cached; "
+              "re-run the same command to resume", file=sys.stderr)
+        if cache is not None:
+            print(render_cache_stats(cache), file=sys.stderr)
+        return 130
+    finally:
+        if prev_term is not None:
+            signal.signal(signal.SIGTERM, prev_term)
     wall = time.time() - started  # repro: allow[REPRO001]
 
     path = write_bench_json(outcome, args.out_dir)
     print(render_outcome(outcome))
     print(f"\nwrote {path}")
-    if cache is not None and cache.corrupt_recovered:
-        print(f"recovered {cache.corrupt_recovered} corrupted cache entries "
-              "(recomputed)", file=sys.stderr)
+    if cache is not None:
+        print(render_cache_stats(cache))
     print(f"[sweep took {wall:.1f}s wall with {args.workers} workers: "
           f"{outcome.computed} computed, {outcome.cached} cached]")
     return 0

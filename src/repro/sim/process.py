@@ -99,6 +99,11 @@ class Process(Event):
             # interrupter asked it to stop and it did not object.
             self.succeed(None)
             return
+        except (KeyboardInterrupt, SystemExit):
+            # operator interrupts are not simulation failures: unwind
+            # through engine.run() so the CLI's graceful-interrupt path
+            # (exit 130, cache intact) sees the real KeyboardInterrupt
+            raise
         except BaseException as exc:
             self.fail(exc)
             return

@@ -1,0 +1,334 @@
+"""End-to-end tests of the simulation job service.
+
+Each test boots a real :class:`~repro.service.server.ServiceServer` in
+a background thread (its own asyncio loop, its own unix socket in
+tmp_path, its own ProcessPoolExecutor) and talks to it through the
+public :class:`~repro.service.client.ServiceClient` — the exact wire
+path ``python -m repro.service`` uses.
+"""
+
+import asyncio
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+
+import pytest
+
+from repro.bench.cache import ResultCache
+from repro.bench.runner import (
+    SweepRunner,
+    artifact_text,
+    bench_artifact,
+    matrix_from_dict,
+)
+from repro.service.client import ServiceClient
+from repro.service.jobs import normalize_request
+from repro.service.protocol import (
+    JobFailed,
+    RequestError,
+    ServiceBusy,
+    ServiceDraining,
+    UnknownJob,
+)
+from repro.service.server import ServiceConfig, ServiceServer
+from repro.service.swarm import run_swarm
+
+#: tiny kernel request: ~tens of milliseconds of simulation
+PINGPONG = {
+    "type": "kernel", "kernel": "pingpong", "nprocs": 2, "nodes": 2,
+    "ppn": 1, "connection": "ondemand", "seed": 0,
+}
+
+SWEEP_MATRIX = {
+    "name": "svc_test", "kernels": ["pingpong"], "nprocs": [2],
+    "connections": ["ondemand", "static-p2p"], "seeds": [0],
+    "nodes": 2, "ppn": 1,
+}
+
+
+@contextmanager
+def running_server(tmp_path, *, workers=2, queue_bound=8, cache=True,
+                   drain_grace_s=30.0, name="svc"):
+    """A live server + client; drains the server on exit."""
+    sock = str(tmp_path / f"{name}.sock")
+    config = ServiceConfig(
+        socket_path=sock,
+        workers=workers,
+        queue_bound=queue_bound,
+        cache_dir=str(tmp_path / "cache") if cache else None,
+        drain_grace_s=drain_grace_s,
+    )
+    server = ServiceServer(config)
+    ready = threading.Event()
+    exit_box = {}
+
+    def run():
+        exit_box["code"] = asyncio.run(server.run_async(ready=ready.set))
+
+    thread = threading.Thread(target=run, daemon=True)
+    thread.start()
+    assert ready.wait(10), "server did not come up"
+    client = ServiceClient(sock, timeout_s=120.0)
+    try:
+        yield server, client, exit_box
+    finally:
+        try:
+            client.shutdown()
+        except OSError:
+            pass  # already drained; socket is gone
+        thread.join(60)
+        assert not thread.is_alive(), "server failed to drain"
+
+
+# -- protocol & basic lifecycle ---------------------------------------------
+
+
+def test_ping_reports_protocol_version(tmp_path):
+    with running_server(tmp_path) as (_server, client, _exit):
+        resp = client.ping()
+        assert resp["pong"] is True
+        assert resp["version"] == 1
+        assert resp["draining"] is False
+
+
+def test_kernel_submit_wait_fetch(tmp_path):
+    with running_server(tmp_path) as (_server, client, _exit):
+        resp = client.submit(PINGPONG)
+        # job id IS the content-addressed cache key of the cell
+        assert resp["id"] == normalize_request(PINGPONG).key
+        final = client.wait(resp["id"], timeout_s=60)
+        assert final["state"] == "done"
+        text = client.fetch(resp["id"])
+        assert text.endswith("\n")
+        assert resp["id"] in text
+
+        counters = client.metrics()["counters"]
+        assert counters["service.executions"] == 1
+        assert counters["service.accepted"] == 1
+
+
+def test_resubmission_is_served_from_cache(tmp_path):
+    """Same request to a *new* server over the same cache dir: no
+    execution, served from disk, and the hit shows up both in the
+    service counter and in the folded ResultCache gauges."""
+    with running_server(tmp_path, name="first") as (_s, client, _e):
+        job_id = client.submit(PINGPONG)["id"]
+        client.wait(job_id, timeout_s=60)
+        first = client.fetch(job_id)
+
+    with running_server(tmp_path, name="second") as (_s, client, _e):
+        resp = client.submit(PINGPONG)
+        assert resp["state"] == "done"
+        assert resp["cached"] is True
+        assert client.fetch(resp["id"]) == first
+
+        metrics = client.metrics()
+        assert metrics["counters"]["service.executions"] == 0
+        assert metrics["counters"]["service.cache_hits"] == 1
+        # satellite: the service's cache-hit-rate metric is literally
+        # the ResultCache's own counters, folded into gauges
+        assert metrics["gauges"]["service.cache.hits"] == 1
+        assert metrics["gauges"]["service.cache.hit_rate"] == 1.0
+
+
+def test_single_flight_collapses_identical_submissions(tmp_path):
+    """N concurrent identical requests -> one id, one execution, N-1
+    dedup joins (the tentpole's single-flight guarantee)."""
+    with running_server(tmp_path, workers=2, queue_bound=8) as (
+            _s, client, _e):
+        request = {"type": "noop", "duration_ms": 400, "nonce": "collapse"}
+
+        def submit(_i):
+            return ServiceClient(client.socket_path, timeout_s=60).submit(
+                request)
+
+        n = 8
+        with ThreadPoolExecutor(max_workers=n) as pool:
+            responses = list(pool.map(submit, range(n)))
+        ids = {r["id"] for r in responses}
+        assert len(ids) == 1
+        client.wait(ids.pop(), timeout_s=60)
+
+        counters = client.metrics()["counters"]
+        assert counters["service.executions"] == 1
+        assert counters["service.dedup_joined"] == n - 1
+        assert counters["service.submits"] == n
+
+
+def test_full_queue_is_typed_service_busy(tmp_path):
+    """Admission control: a full bounded queue rejects immediately with
+    a typed ServiceBusy carrying the queue snapshot — never a hang,
+    never unbounded buffering."""
+    with running_server(tmp_path, workers=1, queue_bound=1) as (
+            _s, client, _e):
+        accepted = []
+        rejections = []
+        for i in range(6):
+            try:
+                accepted.append(client.submit(
+                    {"type": "noop", "duration_ms": 500, "nonce": f"b{i}"}))
+            except ServiceBusy as exc:
+                rejections.append(exc)
+        assert rejections, "bounded queue never pushed back"
+        assert all(exc.queue_bound == 1 for exc in rejections)
+        counters = client.metrics()["counters"]
+        assert counters["service.rejected_busy"] == len(rejections)
+        # the accepted jobs still finish; the server is healthy
+        for resp in accepted:
+            assert client.wait(resp["id"], timeout_s=60)["state"] == "done"
+
+
+def test_sweep_artifact_byte_identical_to_direct_runner(tmp_path):
+    """The service's fetched sweep artifact is byte-for-byte what the
+    direct sweep machinery writes over the same cache lineage."""
+    with running_server(tmp_path, workers=2) as (_s, client, _e):
+        resp = client.submit({"type": "sweep", "matrix": SWEEP_MATRIX})
+        final = client.wait(resp["id"], timeout_s=120)
+        assert final["state"] == "done"
+        assert final["cells"] == 2
+        service_text = client.fetch(resp["id"])
+
+    cache = ResultCache(str(tmp_path / "cache"))
+    outcome = SweepRunner(
+        matrix_from_dict(SWEEP_MATRIX), workers=1, cache=cache).run()
+    direct_text = artifact_text(bench_artifact(outcome))
+    assert service_text == direct_text
+    # every cell the service computed was reused, none recomputed
+    assert outcome.computed == 0 and outcome.cached == 2
+
+
+def test_sweep_cells_dedup_against_direct_submissions(tmp_path):
+    """A sweep's cells go through the same single-flight map as direct
+    kernel submissions: pre-submitting one cell means the sweep
+    executes only the other."""
+    with running_server(tmp_path, workers=2) as (_s, client, _e):
+        job_id = client.submit(PINGPONG)["id"]
+        client.wait(job_id, timeout_s=60)
+        resp = client.submit({"type": "sweep", "matrix": SWEEP_MATRIX})
+        assert client.wait(resp["id"], timeout_s=120)["state"] == "done"
+        counters = client.metrics()["counters"]
+        # 1 direct pingpong + 1 remaining sweep cell
+        assert counters["service.executions"] == 2
+
+
+def test_subscribe_streams_progress_to_final(tmp_path):
+    with running_server(tmp_path, workers=2) as (_s, client, _e):
+        resp = client.submit({"type": "sweep", "matrix": SWEEP_MATRIX})
+        events = list(client.subscribe(resp["id"]))
+        assert events[-1].get("final") is True
+        assert events[-1]["event"] == "done"
+        kinds = [e.get("event") for e in events if "event" in e]
+        assert "progress" in kinds  # per-cell incremental progress
+
+
+def test_subscribe_finished_job_yields_terminal_event(tmp_path):
+    with running_server(tmp_path) as (_s, client, _e):
+        resp = client.submit(PINGPONG)
+        client.wait(resp["id"], timeout_s=60)
+        events = list(client.subscribe(resp["id"]))
+        assert len(events) == 1
+        assert events[0]["final"] is True and events[0]["event"] == "done"
+
+
+# -- typed errors -----------------------------------------------------------
+
+
+def test_typed_errors_for_bad_and_unknown(tmp_path):
+    with running_server(tmp_path) as (_s, client, _e):
+        with pytest.raises(UnknownJob):
+            client.status("no-such-job")
+        with pytest.raises(RequestError):
+            client.submit({"type": "kernel", "kernel": "not-a-kernel"})
+        with pytest.raises(RequestError):
+            client.submit({"type": "teleport"})
+        with pytest.raises(RequestError):
+            client.submit({"type": "kernel", "kernel": "pingpong",
+                           "connection": "psychic"})
+
+
+def test_fetch_of_failed_job_raises_job_failed(tmp_path):
+    with running_server(tmp_path, cache=False) as (_s, client, _e):
+        # nprocs > nodes*ppn passes normalization? no — that's rejected;
+        # instead drive a worker-side failure with a kernel cell whose
+        # replay trace is missing at execution time is complex; use a
+        # cluster request with an unknown kernel name, which normalizes
+        # (cluster kernels are validated at run time) and then fails.
+        resp = client.submit({
+            "type": "cluster", "connection": "ondemand", "njobs": 1,
+            "nodes": 2, "ppn": 2, "nprocs_choices": [2],
+            "kernels": ["no-such-kernel"],
+        })
+        final = client.wait(resp["id"], timeout_s=60)
+        assert final["state"] == "failed"
+        with pytest.raises(JobFailed):
+            client.fetch(resp["id"])
+        assert client.metrics()["counters"]["service.failed"] == 1
+
+
+# -- shutdown & drain -------------------------------------------------------
+
+
+def test_graceful_drain_finishes_inflight_work(tmp_path):
+    """Shutdown while a job runs: the drain lets it finish, the server
+    exits 0, and the completed result is on disk for the next server."""
+    with running_server(tmp_path, workers=1) as (server, client, exit_box):
+        resp = client.submit(PINGPONG)
+        client.shutdown()
+        # new work is refused the moment draining begins
+        with pytest.raises((ServiceDraining, OSError)):
+            ServiceClient(client.socket_path, timeout_s=10).submit(
+                {"type": "noop", "duration_ms": 10, "nonce": "late"})
+
+    assert exit_box["code"] == 0
+    assert ResultCache(str(tmp_path / "cache")).get(resp["id"]) is not None
+
+
+# -- swarm ------------------------------------------------------------------
+
+
+@pytest.mark.slow
+def test_swarm_report_is_deterministic_across_cold_servers(tmp_path):
+    """Two cold servers, same swarm seed -> identical report documents,
+    and executions == unique keys (every duplicate was deduped)."""
+    reports = []
+    for name in ("cold-a", "cold-b"):
+        cache_dir = tmp_path / name
+        sock = str(tmp_path / f"{name}.sock")
+        config = ServiceConfig(socket_path=sock, workers=4, queue_bound=32,
+                               cache_dir=str(cache_dir))
+        server = ServiceServer(config)
+        ready = threading.Event()
+        thread = threading.Thread(
+            target=lambda s=server: asyncio.run(s.run_async(ready=ready.set)),
+            daemon=True)
+        thread.start()
+        assert ready.wait(10)
+        report, timing = run_swarm(sock, seed=7, clients=20,
+                                   requests_per_client=3, timeout_s=300)
+        ServiceClient(sock).shutdown()
+        thread.join(60)
+        assert report["states"] == {"done": report["requests"]}
+        assert report["executions"] == report["unique_keys"]
+        assert timing["busy_rejections"] >= 0
+        reports.append(report)
+    assert reports[0] == reports[1]
+    assert artifact_text(reports[0]) == artifact_text(reports[1])
+
+
+# -- request normalization (no server needed) -------------------------------
+
+
+def test_job_id_is_the_cache_key():
+    req = normalize_request(PINGPONG)
+    assert req.kind == "kernel"
+    assert len(req.key) == 64  # SHA-256 hex
+    assert req.cacheable is True
+    # identical wire request -> identical identity
+    assert normalize_request(dict(PINGPONG)).key == req.key
+
+
+def test_noop_requests_are_never_cacheable():
+    req = normalize_request({"type": "noop", "duration_ms": 5, "nonce": "x"})
+    assert req.cacheable is False
+    with pytest.raises(RequestError):
+        normalize_request({"type": "noop", "duration_ms": -1})

@@ -1,0 +1,118 @@
+"""Graceful-interrupt behavior of the sweep CLI (satellite: SIGINT/
+SIGTERM handling + the cache hit/miss line in sweep output).
+
+The kill-and-resume test drives ``python -m repro.bench sweep`` as a
+real subprocess, signals it mid-run, and proves the contract printed
+by the interrupt message: completed cells survive in the cache, the
+process exits nonzero, and re-running the same command resumes and
+produces a byte-identical artifact.
+"""
+
+import os
+import signal
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.bench import sweep_cmd
+
+REPO = Path(__file__).parent.parent
+
+SWEEP_ARGS = [
+    "--matrix", "mini", "--kernels", "cg", "--np", "4",
+    "--seeds", "0,1", "--connections", "ondemand,static-cs",
+    "--workers", "1",
+]
+
+
+def _run_inprocess(argv):
+    return sweep_cmd.main(argv)
+
+
+def test_sweep_output_surfaces_cache_counters(tmp_path, capsys):
+    """Satellite: the sweep prints the ResultCache's own hit/miss
+    counters — 0 hits cold, 100% hit rate warm."""
+    argv = ["--kernels", "pingpong", "--np", "2", "--seeds", "0",
+            "--connections", "ondemand,static-p2p", "--nodes", "2",
+            "--ppn", "1", "--cache-dir", str(tmp_path / "cache"),
+            "--out-dir", str(tmp_path)]
+    assert _run_inprocess(argv) == 0
+    cold = capsys.readouterr().out
+    assert "[cache: 0 hits / 2 misses (0% hit rate)]" in cold
+
+    assert _run_inprocess(argv) == 0
+    warm = capsys.readouterr().out
+    assert "[cache: 2 hits / 0 misses (100% hit rate)]" in warm
+
+
+def test_render_cache_stats_reports_corrupt_recoveries(tmp_path):
+    from repro.bench.cache import ResultCache
+
+    cache = ResultCache(str(tmp_path))
+    cache.put("k" * 64, {"v": 1})
+    assert cache.get("k" * 64) == {"v": 1}
+    line = sweep_cmd.render_cache_stats(cache)
+    assert "1 hits / 0 misses" in line
+    # corrupt an entry on disk; the recovery shows up in the line
+    victim = next(Path(str(tmp_path)).glob("*/*.json"))
+    victim.write_text("{ truncated garbage")
+    assert cache.get("k" * 64) is None
+    assert "corrupt entries recovered" in sweep_cmd.render_cache_stats(cache)
+
+
+def _spawn_sweep(tmp_path):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return subprocess.Popen(
+        [sys.executable, "-m", "repro.bench", "sweep", *SWEEP_ARGS,
+         "--cache-dir", str(tmp_path / "cache"),
+         "--out-dir", str(tmp_path)],
+        cwd=str(tmp_path), env=env,
+        stdout=subprocess.PIPE, stderr=subprocess.PIPE,
+    )
+
+
+@pytest.mark.parametrize("signum", [signal.SIGINT, signal.SIGTERM])
+def test_kill_and_resume_produces_byte_identical_artifact(
+        tmp_path, signum):
+    """Kill a sweep mid-run; completed cells stay cached, the exit is
+    nonzero, and the resumed sweep's artifact is byte-identical to a
+    rerun over the same cache."""
+    cache_dir = tmp_path / "cache"
+    proc = _spawn_sweep(tmp_path)
+    # wait until at least one cell has landed in the cache, then signal
+    deadline = time.monotonic() + 120
+    while not list(cache_dir.glob("*/*.json")):
+        if proc.poll() is not None or time.monotonic() > deadline:
+            break
+        time.sleep(0.01)
+    if proc.poll() is None:
+        proc.send_signal(signum)
+        _out, err = proc.communicate(timeout=120)
+        assert proc.returncode == 130, err.decode()
+        assert b"sweep interrupted" in err
+        assert b"re-run the same command to resume" in err
+        # interrupted mid-sweep: some cells cached, not all four
+        cached = list(cache_dir.glob("*/*.json"))
+        assert cached, "no completed cell survived the interrupt"
+        assert len(cached) < 4
+    else:
+        proc.communicate()  # raced to completion: resume still valid
+
+    # resume: same command runs to completion over the surviving cache
+    resumed = _spawn_sweep(tmp_path)
+    _out, err = resumed.communicate(timeout=300)
+    assert resumed.returncode == 0, err.decode()
+    artifact = tmp_path / "BENCH_mini.json"
+    first_bytes = artifact.read_bytes()
+    assert len(list(cache_dir.glob("*/*.json"))) == 4
+
+    # a rerun over the same cache must reproduce the artifact exactly
+    rerun = _spawn_sweep(tmp_path)
+    out, err = rerun.communicate(timeout=300)
+    assert rerun.returncode == 0, err.decode()
+    assert artifact.read_bytes() == first_bytes
+    assert b"[cache: 4 hits / 0 misses (100% hit rate)]" in out
